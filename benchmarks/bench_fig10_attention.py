@@ -1,0 +1,59 @@
+"""Figure 10: sequence-parallel self-attention, 16k..128k context.
+
+Paper shape: TileLink beats Torch (~5x average) and RingAttention (~2x
+average) at every sequence length; the overlap ratio — (comp_only +
+comm_only - overlap) / comm_only — averages 43.9%.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import FAST, print_relative_table, run_once
+from repro.bench.experiments import (
+    attention_builders,
+    attention_overlap_ratio,
+    run_method_times,
+)
+from repro.models.configs import ATTENTION_BENCHES
+from repro.util.stats import geomean
+
+METHODS = ("Torch", "RingAttn", "TileLink")
+
+
+def _sweep(shape) -> tuple[dict[str, list[float]], list[float], list[str]]:
+    seqs = shape.seq_lens[:2] if FAST else shape.seq_lens
+    times: dict[str, list[float]] = {m: [] for m in METHODS}
+    ratios: list[float] = []
+    for seq in seqs:
+        res = run_method_times(attention_builders(shape, seq))
+        for m in METHODS:
+            times[m].append(res[m])
+        ratios.append(attention_overlap_ratio(shape, seq))
+    labels = [f"{seq // 1024}k" for seq in seqs]
+    return times, ratios, labels
+
+
+def _check(shape, benchmark) -> None:
+    times, ratios, labels = run_once(benchmark, lambda: _sweep(shape))
+    gm = print_relative_table(
+        f"Figure 10 — {shape.name} ({shape.heads} heads, "
+        f"head dim {shape.head_dim})", labels, times, "Torch")
+    print("overlap ratio per seq:",
+          {l: round(r, 3) for l, r in zip(labels, ratios)},
+          f"(geomean {geomean([max(r, 1e-9) for r in ratios]):.3f}; "
+          "paper average 0.439)")
+    # TileLink wins against both baselines at every length
+    for i in range(len(labels)):
+        assert times["TileLink"][i] < times["RingAttn"][i]
+        assert times["TileLink"][i] < times["Torch"][i]
+    assert gm["TileLink"] > 2.5   # ~5x in the paper
+    assert gm["TileLink"] / gm["RingAttn"] > 1.2   # ~2x in the paper
+    # communication is meaningfully hidden
+    assert all(r > 0.25 for r in ratios)
+
+
+def test_fig10_attn1(benchmark) -> None:
+    _check(ATTENTION_BENCHES[0], benchmark)
+
+
+def test_fig10_attn2(benchmark) -> None:
+    _check(ATTENTION_BENCHES[1], benchmark)

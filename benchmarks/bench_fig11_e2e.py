@@ -1,0 +1,64 @@
+"""Figure 11: end-to-end LLM forward passes, 8xH800 and 16xH800.
+
+Paper shape: average TileLink speedup over the PyTorch baseline 1.32x on
+one node (dense models ~1.20x, MoE models ~1.54x) and 1.29x on two nodes
+(slightly lower — the added inter-node cost dilutes both systems
+equally).
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import FAST, print_relative_table, run_once
+from repro.models.configs import E2E_MODELS
+from repro.models.runner import e2e_model_time
+from repro.util.stats import geomean
+
+MODELS = ([m for m in E2E_MODELS if m.name in ("LLaMA2-7B", "Mixtral-8x7B")]
+          if FAST else E2E_MODELS)
+
+
+def _sweep(n_nodes: int) -> dict[str, list[float]]:
+    times: dict[str, list[float]] = {"Torch": [], "TileLink": []}
+    for model in MODELS:
+        times["Torch"].append(
+            e2e_model_time(model, "torch", n_nodes=n_nodes))
+        times["TileLink"].append(
+            e2e_model_time(model, "tilelink", n_nodes=n_nodes))
+    return times
+
+
+def _speedups(times: dict[str, list[float]]) -> list[float]:
+    return [t / l for t, l in zip(times["Torch"], times["TileLink"])]
+
+
+def test_fig11_single_node(benchmark) -> None:
+    times = run_once(benchmark, lambda: _sweep(1))
+    gm = print_relative_table("Figure 11 (left) — end-to-end, 8xH800",
+                              [m.name for m in MODELS], times, "Torch")
+    speedups = _speedups(times)
+    dense = [s for s, m in zip(speedups, MODELS) if not m.moe]
+    moe = [s for s, m in zip(speedups, MODELS) if m.moe]
+    print(f"\ndense geomean {geomean(dense):.2f}x (paper 1.20x); "
+          f"MoE geomean {geomean(moe):.2f}x (paper 1.54x); "
+          f"overall {geomean(speedups):.2f}x (paper 1.32x)"
+          if moe else "")
+    assert all(s > 1.0 for s in speedups)       # TileLink wins everywhere
+    assert geomean(speedups) > 1.1
+    if moe:
+        # MoE models gain at least comparably to dense ones (the paper's
+        # 1.54x vs 1.20x gap additionally reflects an eager-PyTorch MoE
+        # baseline slower than our modelled per-expert tier)
+        assert geomean(moe) > 1.1
+
+
+def test_fig11_two_nodes(benchmark) -> None:
+    one = _sweep(1)
+    two = run_once(benchmark, lambda: _sweep(2))
+    print_relative_table("Figure 11 (right) — end-to-end, 16xH800 (DP x TP)",
+                         [m.name for m in MODELS], two, "Torch")
+    s1 = geomean(_speedups(one))
+    s2 = geomean(_speedups(two))
+    print(f"\n8-GPU speedup {s1:.3f}x vs 16-GPU speedup {s2:.3f}x "
+          "(paper: 1.32x vs 1.29x)")
+    assert s2 > 1.0
+    assert s2 <= s1 + 1e-9   # two-node speedup does not exceed one-node

@@ -1,0 +1,61 @@
+"""Figure 9: MoE layers on 8 ranks (dynamic mapping).
+
+Paper shape: vLLM's fused op ~10x over cuBLAS/CUTLASS+NCCL; TileLink
+beats vLLM on both parts (1.51x / 1.31x average) and by 1.14x on the full
+layer; max speedup over cuBLAS+NCCL up to 20.76x.  FLUX and Async-TP do
+not support MoE, hence their absence.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import FAST, print_relative_table, run_once
+from repro.bench.experiments import (
+    moe_layer_builders,
+    moe_part1_builders,
+    moe_part2_builders,
+    run_method_times,
+)
+from repro.models.configs import MOE_BENCHES
+
+SHAPES = MOE_BENCHES[:2] if FAST else MOE_BENCHES
+METHODS = ("cuBLAS+NCCL", "CUTLASS+NCCL", "vLLM-Op", "TileLink")
+
+
+def _sweep(builders_fn) -> dict[str, list[float]]:
+    times: dict[str, list[float]] = {m: [] for m in METHODS}
+    for shape in SHAPES:
+        res = run_method_times(builders_fn(shape))
+        for m in METHODS:
+            times[m].append(res[m])
+    return times
+
+
+def test_fig9_ag_group_gemm(benchmark) -> None:
+    times = run_once(benchmark, lambda: _sweep(moe_part1_builders))
+    gm = print_relative_table(
+        "Figure 9 (left) — AG + Gather + GroupGEMM",
+        [s.name for s in SHAPES], times, "cuBLAS+NCCL")
+    assert gm["vLLM-Op"] > 3.0            # gather/scatter fusion is huge
+    assert gm["TileLink"] > gm["vLLM-Op"]  # plus overlap on top
+    assert gm["CUTLASS+NCCL"] > 1.0
+
+
+def test_fig9_group_gemm_rs(benchmark) -> None:
+    times = run_once(benchmark, lambda: _sweep(moe_part2_builders))
+    gm = print_relative_table(
+        "Figure 9 (middle) — GroupGEMM + Scatter + TopkReduce + RS",
+        [s.name for s in SHAPES], times, "cuBLAS+NCCL")
+    assert gm["TileLink"] > gm["vLLM-Op"] > gm["CUTLASS+NCCL"] > 1.0
+
+
+def test_fig9_full_moe(benchmark) -> None:
+    times = run_once(benchmark, lambda: _sweep(moe_layer_builders))
+    gm = print_relative_table("Figure 9 (right) — full MoE layer",
+                              [s.name for s in SHAPES], times, "cuBLAS+NCCL")
+    max_speedup = max(
+        times["cuBLAS+NCCL"][i] / times["TileLink"][i]
+        for i in range(len(SHAPES)))
+    print(f"\nmax TileLink speedup over cuBLAS+NCCL: {max_speedup:.2f}x "
+          "(paper: up to 20.76x)")
+    assert gm["TileLink"] > gm["vLLM-Op"]
+    assert max_speedup > 4.0

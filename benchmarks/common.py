@@ -1,0 +1,51 @@
+"""Shared helpers for the per-figure benchmark files.
+
+Every benchmark runs its experiment once under ``benchmark.pedantic`` (the
+interesting metric is the *simulated* time printed in the paper-style
+table; the wall time pytest-benchmark records is just harness runtime) and
+asserts the qualitative shape of the paper's result — who wins, and by
+roughly what factor.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Mapping, Sequence
+
+from repro.util.stats import geomean
+from repro.util.tables import format_table
+
+#: REPRO_FAST=1 trims sweeps for quick iteration.
+FAST = os.environ.get("REPRO_FAST", "0") not in ("0", "", "false")
+
+
+def print_relative_table(title: str, labels: Sequence[str],
+                         times: Mapping[str, Sequence[float]],
+                         baseline: str) -> dict[str, float]:
+    """Print absolute + relative rows like the paper's figures.
+
+    Returns the geomean relative performance per method (baseline == 1.0).
+    """
+    headers = ["workload"] + [f"{m} (ms)" for m in times] + \
+        [f"{m} (rel)" for m in times]
+    rows = []
+    rel: dict[str, list[float]] = {m: [] for m in times}
+    for i, label in enumerate(labels):
+        row: list[object] = [label]
+        for m in times:
+            row.append(times[m][i] * 1e3)
+        for m in times:
+            r = times[baseline][i] / times[m][i]
+            rel[m].append(r)
+            row.append(r)
+        rows.append(row)
+    gm = {m: geomean(vals) for m, vals in rel.items()}
+    rows.append(["GEOMEAN"] + ["-"] * len(times) + [gm[m] for m in times])
+    print()
+    print(format_table(headers, rows, title=title))
+    return gm
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,98 @@
+"""Write your own overlapped kernel with tile-centric primitives.
+
+This is the paper's programmability pitch (Table 2: ~200 lines of Python
+vs ~2,000 of CUDA): a custom fused kernel where communication blocks pull
+peer shards and notify, while consumer blocks wait per tile and compute a
+row-wise softmax over the gathered matrix — a workload not in the built-in
+zoo, written directly against the DSL.
+
+Run:  python examples/custom_overlapped_kernel.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import DistContext, SimConfig
+from repro.lang import tl
+from repro.lang.dsl import kernel
+from repro.mapping.layout import TileGrid
+from repro.mapping.static import AffineTileMapping
+from repro.runtime.launcher import launch_spmd
+
+WORLD = 4
+M, N = 256, 64           # gathered rows x features
+BM = 32                  # tile rows
+COMM_BLOCKS = 4
+
+
+@kernel
+def ag_softmax(shards, gathered, out, channel: tl.BlockChannel,
+               M: tl.constexpr, N: tl.constexpr, BM: tl.constexpr,
+               COMM_BLOCKS: tl.constexpr):
+    """Fused AllGather + row softmax: one launch, two cooperating roles."""
+    bid = tl.block_id()
+    nb = tl.num_blocks()
+    n_tiles = tl.cdiv(M, BM)
+    world = channel.num_ranks
+    tiles_per_rank = n_tiles // world
+    if bid < COMM_BLOCKS:
+        # communication role: pull peer tiles (own shard first), publish
+        for i in range(bid, n_tiles, COMM_BLOCKS):
+            src = (channel.rank + i % world) % world
+            t = src * tiles_per_rank + i // world
+            data = tl.tile_pull_data(shards, t, 0)
+            tl.store(gathered, (t * BM, t * BM + BM), (0, N), data)
+            tl.producer_tile_notify(t, "p2p")
+    else:
+        # computation role: wait per tile, then a numerically-stable softmax
+        cid = bid - COMM_BLOCKS
+        nconsumers = nb - COMM_BLOCKS
+        for t in range(cid, n_tiles, nconsumers):
+            tl.consumer_tile_wait(t)
+            x = tl.load(gathered, (t * BM, t * BM + BM), (0, N))
+            m = tl.row_max(x)
+            mcol = tl.expand_dims(m)
+            e = tl.exp(x - mcol)
+            s = tl.row_sum(e)
+            scol = tl.expand_dims(s)
+            y = e / scol
+            tl.store(out, (t * BM, t * BM + BM), (0, N), y)
+
+
+def main() -> None:
+    ctx = DistContext.create(SimConfig(world_size=WORLD, seed=1))
+    rng = np.random.default_rng(1)
+    shards = [rng.standard_normal((M // WORLD, N)).astype(np.float16)
+              for _ in range(WORLD)]
+    ctx.bind("x", shards)
+    ctx.alloc("g", (M, N), "float16", fill=None)
+    ctx.alloc("y", (M, N), "float32")
+
+    mapping = AffineTileMapping(M, BM, WORLD)
+    grid2d = TileGrid(M, N, BM, N)
+    channels = ctx.make_block_channels(
+        "agsm", mapping=mapping, comm_grid=grid2d, consumer_grid=grid2d,
+        comm_blocks=COMM_BLOCKS)
+
+    launch_spmd(ctx.machine, ag_softmax, grid=12, args=dict(
+        shards=ctx.heap.tensors("x"), gathered=ctx.heap.tensors("g"),
+        out=ctx.heap.tensors("y"), channel=channels,
+        M=M, N=N, BM=BM, COMM_BLOCKS=COMM_BLOCKS))
+    total = ctx.run()
+
+    full = np.concatenate(shards).astype(np.float32)
+    e = np.exp(full - full.max(axis=1, keepdims=True))
+    ref = e / e.sum(axis=1, keepdims=True)
+    for r in range(WORLD):
+        got = ctx.heap.tensor("y", r).numpy()
+        err = np.max(np.abs(got - ref))
+        assert err < 1e-2, (r, err)
+    print(f"fused AllGather+softmax on {WORLD} ranks: correct "
+          f"(max err < 1e-2), simulated {total * 1e6:.1f} us")
+    print("The kernel body is ~30 lines of Python: communication role, "
+          "computation role, and the tile-centric primitives between them.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Mixture-of-experts layer with dynamic tile-centric mapping (Figure 5/9).
+
+Routes tokens with a top-k router, builds the dynamic lookup tables, runs
+the full overlapped MoE layer (AG + GroupGEMM, SiLU, GroupGEMM + Scatter +
+TopkReduce + RS) and compares against the vLLM-style fused baseline for
+both correctness and simulated time.
+
+Run:  python examples/moe_layer.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import DistContext, SimConfig
+from repro.baselines.vllm_moe import moe_layer_baseline
+from repro.kernels.moe_common import build_moe_routing, random_router_logits
+from repro.kernels.moe_layer import MoeConfig, moe_layer_tilelink
+from repro.util.tables import format_table, format_time
+
+WORLD, MPER, H, E, TOPK, BM = 4, 64, 64, 8, 2, 16
+M = MPER * WORLD
+ISHARD = 48          # per-rank expert intermediate width
+
+
+def run(impl: str, routing, weights, numerics: bool):
+    ctx = DistContext.create(SimConfig(world_size=WORLD,
+                                       execute_numerics=numerics, seed=2))
+    shards, w1, w2 = weights
+    ctx.bind("x", shards)
+    ctx.alloc("y", (MPER, H), "float32")
+    cfg = MoeConfig(m=M, h=H, i=ISHARD * WORLD, n_experts=E, topk=TOPK,
+                    block_m=BM, block_n=16, block_k=16, block_mr=16,
+                    block_nr=32)
+    if impl == "tilelink":
+        ctx.bind("w1", [w.reshape(E * H, ISHARD) for w in w1])
+        ctx.bind("w2", [w.reshape(E * ISHARD, H) for w in w2])
+        moe_layer_tilelink(ctx, cfg, routing, "x", "w1", "w2", "y")
+    else:
+        ctx.bind("w1", w1)
+        ctx.bind("w2", w2)
+        moe_layer_baseline(ctx, cfg, routing, impl, "x", "w1", "w2", "y")
+    total = ctx.run()
+    return total, ctx
+
+
+def main() -> None:
+    rng = np.random.default_rng(2)
+    logits = random_router_logits(M, E, seed=2)
+    routing = build_moe_routing(logits, MPER, WORLD, TOPK, block_m=BM)
+    print(f"routing: {M} tokens x top-{TOPK} over {E} experts -> "
+          f"{routing.n_tiles} grouped tiles "
+          f"(dynamic mapping tables filled at runtime)")
+
+    shards = [rng.standard_normal((MPER, H)).astype(np.float16) * 0.3
+              for _ in range(WORLD)]
+    w1 = [rng.standard_normal((E, H, ISHARD)).astype(np.float16) * 0.1
+          for _ in range(WORLD)]
+    w2 = [rng.standard_normal((E, ISHARD, H)).astype(np.float16) * 0.1
+          for _ in range(WORLD)]
+    weights = (shards, w1, w2)
+
+    outputs = {}
+    rows = []
+    for impl in ("cublas", "vllm", "tilelink"):
+        _, ctx = run(impl, routing, weights, numerics=True)
+        outputs[impl] = [ctx.heap.tensor("y", r).numpy()
+                         for r in range(WORLD)]
+        t, _ = run(impl, routing, weights, numerics=False)
+        rows.append([impl, format_time(t)])
+
+    for impl in ("vllm", "tilelink"):
+        for r in range(WORLD):
+            err = np.max(np.abs(outputs[impl][r] - outputs["cublas"][r]))
+            assert err < 0.5, (impl, r, err)
+    print("all three implementations agree on the routed outputs\n")
+    print(format_table(["implementation", "simulated time"], rows,
+                       title=f"full MoE layer ({M} tokens, {E} experts, "
+                             f"top-{TOPK}, {WORLD} ranks)"))
+    print("\nTileLink's dynamic mapping lets the grouped GEMM start on a "
+          "shard's tokens as soon as that shard's AllGather lands.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Quickstart: overlapped AllGather + GEMM on a simulated 8-GPU node.
+
+Runs the tensor-parallel MLP part 1 three ways — non-overlapped
+(cuBLAS+NCCL style), decomposed (Async-TP style) and TileLink's overlapped
+kernel — verifies they all compute the same result, and prints the timing
+comparison (the Table 2 story, at a laptop-friendly size).
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import DistContext, SimConfig
+from repro.baselines.decompose import ag_gemm_decomposed
+from repro.baselines.nonoverlap import ag_gemm_nonoverlap
+from repro.kernels.ag_gemm import AgGemmConfig, ag_gemm_overlapped
+from repro.util.tables import format_table, format_time
+
+WORLD = 8
+M, N, K = 2048, 512, 1024    # gathered tokens x weight-shard width x hidden
+
+
+def build_inputs(ctx: DistContext, rng: np.random.Generator) -> None:
+    shards = [rng.standard_normal((M // WORLD, K)).astype(np.float16)
+              for _ in range(WORLD)]
+    weights = [rng.standard_normal((K, N)).astype(np.float16)
+               for _ in range(WORLD)]
+    ctx.bind("x", shards)
+    ctx.bind("w", weights)
+    ctx.alloc("y", (M, N), "float16")
+
+
+def reference(ctx: DistContext, rank: int) -> np.ndarray:
+    full = np.concatenate(
+        [ctx.heap.tensor("x", r).numpy() for r in range(WORLD)]
+    ).astype(np.float32)
+    return full @ ctx.heap.tensor("w", rank).numpy().astype(np.float32)
+
+
+def run(method: str, numerics: bool) -> tuple[float, DistContext]:
+    ctx = DistContext.create(SimConfig(world_size=WORLD,
+                                       execute_numerics=numerics, seed=0))
+    rng = np.random.default_rng(0)
+    build_inputs(ctx, rng)
+    if method == "non-overlap":
+        ag_gemm_nonoverlap(ctx, M, N, K, "x", "w", "y")
+    elif method == "decomposed":
+        ag_gemm_decomposed(ctx, M, N, K, "x", "w", "y")
+    else:
+        cfg = AgGemmConfig(m=M, n=N, k=K, mode="dma")
+        ag_gemm_overlapped(ctx, cfg, "x", "w", "y")
+    total = ctx.run()
+    return total, ctx
+
+
+def main() -> None:
+    rows = []
+    base = None
+    for method in ("non-overlap", "decomposed", "tilelink"):
+        # numeric mode: verify correctness at this size
+        _, ctx = run(method, numerics=True)
+        err = max(
+            float(np.max(np.abs(
+                ctx.heap.tensor("y", r).numpy().astype(np.float32)
+                - reference(ctx, r))))
+            for r in range(WORLD))
+        assert err < 0.5, f"{method} produced wrong results (err={err})"
+        # timing mode: the number the paper reports
+        t, _ = run(method, numerics=False)
+        base = base or t
+        rows.append([method, format_time(t), f"{base / t:.2f}x",
+                     f"{err:.4f}"])
+    print(format_table(
+        ["method", "simulated time", "relative", "max |err|"], rows,
+        title=f"AG+GEMM, M={M} N={N} K={K}, {WORLD} simulated H800s"))
+    print("\nTileLink hides the AllGather under the GEMM: the overlapped "
+          "time approaches max(comm, compute).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Baselines the paper compares against, on the same simulated substrate.
+
+* :mod:`repro.baselines.nonoverlap` — cuBLAS+NCCL sequential pipelines
+  (and the Torch attention baseline).
+* :mod:`repro.baselines.decompose` — Async-TP PyTorch style operator
+  decomposition: chunked collectives + chunked GEMMs on separate streams
+  with host-driven synchronization.
+* :mod:`repro.baselines.flux` — FLUX-style kernel fusion: hand-tuned
+  coupled-tile fused kernels (fast AG+GEMM, tightly-coupled GEMM+RS).
+* :mod:`repro.baselines.vllm_moe` — the MoE baseline family of Figure 9:
+  cuBLAS / CUTLASS per-expert paths and vLLM's fused-but-unoverlapped op.
+"""
+
+from repro.baselines import decompose, flux, nonoverlap, vllm_moe
+
+__all__ = ["decompose", "flux", "nonoverlap", "vllm_moe"]

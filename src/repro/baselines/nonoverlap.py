@@ -1,0 +1,88 @@
+"""cuBLAS + NCCL non-overlap baselines (and the Torch attention baseline).
+
+Communication and computation run sequentially on each rank's default
+stream — the operator-centric pattern of §2.1: system-wide sync around
+every collective, idle SMs during communication.
+"""
+
+from __future__ import annotations
+
+from repro.collectives.nccl import NcclCollectives
+from repro.kernels.attention import AgAttentionConfig
+from repro.kernels.mlp import MlpConfig
+from repro.ops.activation import silu_op
+from repro.ops.attention import naive_attention_op
+from repro.ops.gemm import gemm_op
+from repro.runtime.context import DistContext
+from repro.sim.engine import Process
+
+
+def ag_gemm_nonoverlap(ctx: DistContext, m: int, n: int, k: int,
+                       x_name: str, w_name: str, out_name: str,
+                       tag: str = "base.ag") -> list[Process]:
+    """NCCL AllGather, then one cuBLAS GEMM per rank."""
+    gathered = f"{tag}.gathered"
+    ctx.alloc(gathered, (m, k), "float16", fill=None)
+    nccl = NcclCollectives(ctx)
+    nccl.all_gather(x_name, gathered)
+    return [
+        gemm_op(ctx, rank, ctx.heap.tensor(gathered, rank),
+                ctx.heap.tensor(w_name, rank),
+                ctx.heap.tensor(out_name, rank))
+        for rank in range(ctx.world_size)
+    ]
+
+
+def gemm_rs_nonoverlap(ctx: DistContext, m: int, n: int, k: int,
+                       x_name: str, w_name: str, out_name: str,
+                       tag: str = "base.rs") -> list[Process]:
+    """cuBLAS GEMM, then NCCL ReduceScatter."""
+    partial = f"{tag}.partial"
+    ctx.alloc(partial, (m, n), "float16", fill=None)
+    for rank in range(ctx.world_size):
+        gemm_op(ctx, rank, ctx.heap.tensor(x_name, rank),
+                ctx.heap.tensor(w_name, rank),
+                ctx.heap.tensor(partial, rank))
+    nccl = NcclCollectives(ctx)
+    return nccl.reduce_scatter(partial, out_name)
+
+
+def mlp_nonoverlap(ctx: DistContext, cfg: MlpConfig, x_name: str,
+                   w1_name: str, w2_name: str, out_name: str,
+                   tag: str = "base.mlp") -> list[Process]:
+    """Full MLP: AG -> GEMM -> SiLU -> GEMM -> RS, all sequential."""
+    world = ctx.world_size
+    ishard = cfg.i_shard(world)
+    inter = ctx.alloc(f"{tag}.inter", (cfg.m, ishard), "float16", fill=None)
+    act = ctx.alloc(f"{tag}.act", (cfg.m, ishard), "float16", fill=None)
+    ag_gemm_nonoverlap(ctx, cfg.m, ishard, cfg.h, x_name, w1_name,
+                       f"{tag}.inter", tag=f"{tag}.p1")
+    for rank in range(world):
+        silu_op(ctx, rank, inter[rank], act[rank])
+    return gemm_rs_nonoverlap(ctx, cfg.m, cfg.h, ishard, f"{tag}.act",
+                              w2_name, out_name, tag=f"{tag}.p2")
+
+
+def attention_nonoverlap(ctx: DistContext, cfg: AgAttentionConfig,
+                         q_name: str, k_shards_name: str, v_shards_name: str,
+                         out_name: str,
+                         tag: str = "base.attn") -> list[Process]:
+    """The paper's Torch baseline: NCCL AG of K and V, then unfused
+    (score-materializing) attention."""
+    world = ctx.world_size
+    width = cfg.width
+    gk, gv = f"{tag}.K", f"{tag}.V"
+    ctx.alloc(gk, (cfg.seq_len, width), "float16", fill=None)
+    ctx.alloc(gv, (cfg.seq_len, width), "float16", fill=None)
+    nccl = NcclCollectives(ctx)
+    nccl.all_gather(k_shards_name, gk)
+    nccl.all_gather(v_shards_name, gv)
+    s_per = cfg.seq_len // world
+    return [
+        naive_attention_op(
+            ctx, rank, ctx.heap.tensor(q_name, rank),
+            ctx.heap.tensor(gk, rank), ctx.heap.tensor(gv, rank),
+            ctx.heap.tensor(out_name, rank), cfg.heads, cfg.head_dim,
+            causal=cfg.causal, q_offset=rank * s_per)
+        for rank in range(world)
+    ]

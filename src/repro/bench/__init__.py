@@ -1,0 +1,6 @@
+"""Benchmark harness: per-figure experiment drivers + reporting."""
+
+from repro.bench.harness import make_ctx, run_builder
+from repro.bench import experiments
+
+__all__ = ["experiments", "make_ctx", "run_builder"]

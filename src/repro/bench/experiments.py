@@ -1,0 +1,300 @@
+"""Experiment drivers: one function per paper table/figure.
+
+Each driver returns plain dicts of simulated times so the benchmark files
+(benchmarks/) and EXPERIMENTS.md generation share one source of truth.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.baselines import decompose, flux, nonoverlap, vllm_moe
+from repro.bench.harness import DEFAULT_WORLD, run_builder, run_builder_traced
+from repro.kernels.ag_gemm import AgGemmConfig, ag_gemm_overlapped
+from repro.kernels.ag_moe import AgMoeConfig, ag_moe_overlapped
+from repro.kernels.attention import AgAttentionConfig, ag_attention_overlapped
+from repro.kernels.gemm_rs import GemmRsConfig, gemm_rs_overlapped
+from repro.kernels.mlp import MlpConfig, mlp_layer_tilelink
+from repro.kernels.moe_common import build_moe_routing, random_router_logits
+from repro.kernels.moe_layer import MoeConfig, moe_layer_tilelink
+from repro.kernels.moe_rs import MoeRsConfig, moe_rs_overlapped
+from repro.kernels.ring_attention import ring_attention
+from repro.models.configs import AttnShape, MlpShape, MoeShape, ModelConfig
+from repro.ops.attention import flash_attention_op
+from repro.runtime.context import DistContext
+
+
+# ---------------------------------------------------------------------------
+# MLP parts (Table 2, Figure 8)
+# ---------------------------------------------------------------------------
+
+def _alloc_ag(ctx: DistContext, m: int, n: int, k: int) -> None:
+    world = ctx.world_size
+    ctx.alloc("x", (m // world, k), "float16", fill=None)
+    ctx.alloc("w", (k, n), "float16", fill=None)
+    ctx.alloc("y", (m, n), "float16", fill=None)
+
+
+def _alloc_rs(ctx: DistContext, m: int, n: int, k: int) -> None:
+    world = ctx.world_size
+    ctx.alloc("x", (m, k), "float16", fill=None)
+    ctx.alloc("w", (k, n), "float16", fill=None)
+    ctx.alloc("y", (m // world, n), "float32", fill=None)
+
+
+def ag_gemm_builders(shape: MlpShape, world: int = DEFAULT_WORLD
+                     ) -> dict[str, Callable[[DistContext], None]]:
+    m, k = shape.s, shape.h
+    n = shape.i // world
+
+    def non(ctx: DistContext) -> None:
+        _alloc_ag(ctx, m, n, k)
+        nonoverlap.ag_gemm_nonoverlap(ctx, m, n, k, "x", "w", "y")
+
+    def dec(ctx: DistContext) -> None:
+        _alloc_ag(ctx, m, n, k)
+        decompose.ag_gemm_decomposed(ctx, m, n, k, "x", "w", "y")
+
+    def flx(ctx: DistContext) -> None:
+        _alloc_ag(ctx, m, n, k)
+        flux.ag_gemm_flux(ctx, m, n, k, "x", "w", "y")
+
+    def tl(ctx: DistContext) -> None:
+        _alloc_ag(ctx, m, n, k)
+        cfg = AgGemmConfig(m=m, n=n, k=k, mode="dma")
+        ag_gemm_overlapped(ctx, cfg, "x", "w", "y")
+
+    return {"cuBLAS+NCCL": non, "Async-TP": dec, "FLUX": flx, "TileLink": tl}
+
+
+def gemm_rs_builders(shape: MlpShape, world: int = DEFAULT_WORLD
+                     ) -> dict[str, Callable[[DistContext], None]]:
+    m, n = shape.s, shape.h
+    k = shape.i // world
+
+    def non(ctx: DistContext) -> None:
+        _alloc_rs(ctx, m, n, k)
+        nonoverlap.gemm_rs_nonoverlap(ctx, m, n, k, "x", "w", "y")
+
+    def dec(ctx: DistContext) -> None:
+        _alloc_rs(ctx, m, n, k)
+        decompose.gemm_rs_decomposed(ctx, m, n, k, "x", "w", "y")
+
+    def flx(ctx: DistContext) -> None:
+        _alloc_rs(ctx, m, n, k)
+        flux.gemm_rs_flux(ctx, m, n, k, "x", "w", "y")
+
+    def tl(ctx: DistContext) -> None:
+        _alloc_rs(ctx, m, n, k)
+        cfg = GemmRsConfig(m=m, n=n, k=k, mode="hybrid")
+        gemm_rs_overlapped(ctx, cfg, "x", "w", "y")
+
+    return {"cuBLAS+NCCL": non, "Async-TP": dec, "FLUX": flx, "TileLink": tl}
+
+
+def mlp_builders(shape: MlpShape, world: int = DEFAULT_WORLD
+                 ) -> dict[str, Callable[[DistContext], None]]:
+    cfg = MlpConfig(m=shape.s, h=shape.h, i=shape.i)
+
+    def _alloc(ctx: DistContext) -> None:
+        ishard = cfg.i_shard(ctx.world_size)
+        ctx.alloc("x", (cfg.m // ctx.world_size, cfg.h), "float16", fill=None)
+        ctx.alloc("w1", (cfg.h, ishard), "float16", fill=None)
+        ctx.alloc("w2", (ishard, cfg.h), "float16", fill=None)
+        ctx.alloc("y", (cfg.m // ctx.world_size, cfg.h), "float32", fill=None)
+
+    def non(ctx: DistContext) -> None:
+        _alloc(ctx)
+        nonoverlap.mlp_nonoverlap(ctx, cfg, "x", "w1", "w2", "y")
+
+    def dec(ctx: DistContext) -> None:
+        _alloc(ctx)
+        decompose.mlp_decomposed(ctx, cfg, "x", "w1", "w2", "y")
+
+    def flx(ctx: DistContext) -> None:
+        _alloc(ctx)
+        flux.mlp_flux(ctx, cfg, "x", "w1", "w2", "y")
+
+    def tl(ctx: DistContext) -> None:
+        _alloc(ctx)
+        mlp_layer_tilelink(ctx, cfg, "x", "w1", "w2", "y")
+
+    return {"cuBLAS+NCCL": non, "Async-TP": dec, "FLUX": flx, "TileLink": tl}
+
+
+def run_method_times(builders: dict[str, Callable[[DistContext], None]],
+                     world: int = DEFAULT_WORLD) -> dict[str, float]:
+    return {name: run_builder(b, world=world) for name, b in builders.items()}
+
+
+# ---------------------------------------------------------------------------
+# MoE parts (Figure 9)
+# ---------------------------------------------------------------------------
+
+def _moe_setup(ctx: DistContext, shape: MoeShape, block_m: int = 128):
+    world = ctx.world_size
+    cfg = MoeConfig(m=shape.s, h=shape.h, i=shape.i, n_experts=shape.e,
+                    topk=shape.topk, block_m=block_m)
+    logits = random_router_logits(shape.s, shape.e, seed=17)
+    routing = build_moe_routing(logits, shape.s // world, world, shape.topk,
+                                block_m=block_m)
+    return cfg, routing
+
+
+def moe_part1_builders(shape: MoeShape, world: int = DEFAULT_WORLD
+                       ) -> dict[str, Callable[[DistContext], None]]:
+    def make(impl: str) -> Callable[[DistContext], None]:
+        def build(ctx: DistContext) -> None:
+            cfg, routing = _moe_setup(ctx, shape)
+            ishard = cfg.i_shard(ctx.world_size)
+            ctx.alloc("x", (cfg.m // ctx.world_size, cfg.h), "float16",
+                      fill=None)
+            if impl == "tilelink":
+                ctx.alloc("w1", (cfg.n_experts * cfg.h, ishard), "float16",
+                          fill=None)
+                ctx.alloc("g", (routing.padded_rows, ishard), "float16",
+                          fill=None)
+                p1 = AgMoeConfig(m=cfg.m, h=cfg.h, d=ishard,
+                                 n_experts=cfg.n_experts, topk=cfg.topk,
+                                 block_m=cfg.block_m)
+                ag_moe_overlapped(ctx, p1, routing, "x", "w1", "g")
+            else:
+                ctx.alloc("w1", (cfg.n_experts, cfg.h, ishard), "float16",
+                          fill=None)
+                ctx.alloc("g", (len(routing.sorted_token_ids), ishard),
+                          "float16", fill=None)
+                vllm_moe.moe_part1_baseline(ctx, cfg, routing, impl, "x",
+                                            "w1", "g")
+        return build
+
+    return {"cuBLAS+NCCL": make("cublas"), "CUTLASS+NCCL": make("cutlass"),
+            "vLLM-Op": make("vllm"), "TileLink": make("tilelink")}
+
+
+def moe_part2_builders(shape: MoeShape, world: int = DEFAULT_WORLD
+                       ) -> dict[str, Callable[[DistContext], None]]:
+    def make(impl: str) -> Callable[[DistContext], None]:
+        def build(ctx: DistContext) -> None:
+            cfg, routing = _moe_setup(ctx, shape)
+            ishard = cfg.i_shard(ctx.world_size)
+            ctx.alloc("y", (cfg.m // ctx.world_size, cfg.h), "float32",
+                      fill=None)
+            if impl == "tilelink":
+                ctx.alloc("g", (routing.padded_rows, ishard), "float16",
+                          fill=None)
+                ctx.alloc("w2", (cfg.n_experts * ishard, cfg.h), "float16",
+                          fill=None)
+                p2 = MoeRsConfig(m=cfg.m, h=cfg.h, d=ishard,
+                                 block_m=cfg.block_m)
+                moe_rs_overlapped(ctx, p2, routing, "g", "w2", "y")
+            else:
+                ctx.alloc("g", (len(routing.sorted_token_ids), ishard),
+                          "float16", fill=None)
+                ctx.alloc("w2", (cfg.n_experts, ishard, cfg.h), "float16",
+                          fill=None)
+                vllm_moe.moe_part2_baseline(ctx, cfg, routing, impl, "g",
+                                            "w2", "y")
+        return build
+
+    return {"cuBLAS+NCCL": make("cublas"), "CUTLASS+NCCL": make("cutlass"),
+            "vLLM-Op": make("vllm"), "TileLink": make("tilelink")}
+
+
+def moe_layer_builders(shape: MoeShape, world: int = DEFAULT_WORLD
+                       ) -> dict[str, Callable[[DistContext], None]]:
+    def make(impl: str) -> Callable[[DistContext], None]:
+        def build(ctx: DistContext) -> None:
+            cfg, routing = _moe_setup(ctx, shape)
+            ishard = cfg.i_shard(ctx.world_size)
+            ctx.alloc("x", (cfg.m // ctx.world_size, cfg.h), "float16",
+                      fill=None)
+            ctx.alloc("y", (cfg.m // ctx.world_size, cfg.h), "float32",
+                      fill=None)
+            if impl == "tilelink":
+                ctx.alloc("w1", (cfg.n_experts * cfg.h, ishard), "float16",
+                          fill=None)
+                ctx.alloc("w2", (cfg.n_experts * ishard, cfg.h), "float16",
+                          fill=None)
+                moe_layer_tilelink(ctx, cfg, routing, "x", "w1", "w2", "y")
+            else:
+                ctx.alloc("w1", (cfg.n_experts, cfg.h, ishard), "float16",
+                          fill=None)
+                ctx.alloc("w2", (cfg.n_experts, ishard, cfg.h), "float16",
+                          fill=None)
+                vllm_moe.moe_layer_baseline(ctx, cfg, routing, impl, "x",
+                                            "w1", "w2", "y")
+        return build
+
+    return {"cuBLAS+NCCL": make("cublas"), "CUTLASS+NCCL": make("cutlass"),
+            "vLLM-Op": make("vllm"), "TileLink": make("tilelink")}
+
+
+# ---------------------------------------------------------------------------
+# Attention (Figure 10)
+# ---------------------------------------------------------------------------
+
+def attention_builders(shape: AttnShape, seq_len: int,
+                       world: int = DEFAULT_WORLD
+                       ) -> dict[str, Callable[[DistContext], None]]:
+    cfg = AgAttentionConfig(heads=shape.heads, head_dim=shape.head_dim,
+                            seq_len=seq_len, causal=True)
+
+    def _alloc(ctx: DistContext) -> None:
+        s_per = cfg.seq_len // ctx.world_size
+        for name in ("q", "k", "v"):
+            ctx.alloc(name, (s_per, cfg.width), "float16", fill=None)
+        ctx.alloc("o", (s_per, cfg.width), "float32", fill=None)
+
+    def torch_build(ctx: DistContext) -> None:
+        _alloc(ctx)
+        nonoverlap.attention_nonoverlap(ctx, cfg, "q", "k", "v", "o")
+
+    def ring_build(ctx: DistContext) -> None:
+        _alloc(ctx)
+        ring_attention(ctx, cfg, "q", "k", "v", "o")
+
+    def tl_build(ctx: DistContext) -> None:
+        _alloc(ctx)
+        ag_attention_overlapped(ctx, cfg, "q", "k", "v", "o")
+
+    return {"Torch": torch_build, "RingAttn": ring_build,
+            "TileLink": tl_build}
+
+
+def attention_overlap_ratio(shape: AttnShape, seq_len: int,
+                            world: int = DEFAULT_WORLD) -> float:
+    """ratio = (comp_only + comm_only - overlap) / comm_only (Figure 10)."""
+    cfg = AgAttentionConfig(heads=shape.heads, head_dim=shape.head_dim,
+                            seq_len=seq_len, causal=True)
+    s_per = cfg.seq_len // world
+
+    def comm_only(ctx: DistContext) -> None:
+        from repro.collectives.copy_engine import dma_all_gather
+        for name in ("k", "v"):
+            ctx.alloc(name, (s_per, cfg.width), "float16", fill=None)
+            ctx.alloc(f"{name}.full", (cfg.seq_len, cfg.width), "float16",
+                      fill=None)
+            dma_all_gather(ctx, name, f"{name}.full", None,
+                           stream_name="comm")
+
+    def comp_only(ctx: DistContext) -> None:
+        ctx.alloc("q", (s_per, cfg.width), "float16", fill=None)
+        ctx.alloc("k", (cfg.seq_len, cfg.width), "float16", fill=None)
+        ctx.alloc("o", (s_per, cfg.width), "float32", fill=None)
+        for rank in range(ctx.world_size):
+            flash_attention_op(
+                ctx, rank, ctx.heap.tensor("q", rank),
+                ctx.heap.tensor("k", rank), ctx.heap.tensor("k", rank),
+                ctx.heap.tensor("o", rank), cfg.heads, cfg.head_dim,
+                causal=True, q_offset=rank * s_per)
+
+    def overlapped(ctx: DistContext) -> None:
+        for name in ("q", "k", "v"):
+            ctx.alloc(name, (s_per, cfg.width), "float16", fill=None)
+        ctx.alloc("o", (s_per, cfg.width), "float32", fill=None)
+        ag_attention_overlapped(ctx, cfg, "q", "k", "v", "o")
+
+    t_comm = run_builder(comm_only, world=world)
+    t_comp = run_builder(comp_only, world=world)
+    t_over = run_builder(overlapped, world=world)
+    return (t_comp + t_comm - t_over) / t_comm

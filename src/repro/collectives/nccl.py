@@ -1,0 +1,256 @@
+"""NCCL-style collectives on the simulated node.
+
+Ring algorithms with the classic cost shape: ``(R-1)/R`` of the data
+crosses each link, steps serialize on neighbour arrivals, protocol
+efficiency caps achievable bandwidth, and each collective is a kernel
+launch that occupies a handful of SM channels.  These are the
+``cuBLAS+NCCL`` baselines' communication ops and the paper's operator-
+centric primitives (§2.1): system-wide synchronization before/after, no
+overlap with compute unless the caller runs them on separate streams.
+
+All collectives are SPMD: one process per rank enqueued on that rank's
+stream; numerics land in the destination symmetric tensors at arrival.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.errors import RuntimeLaunchError, ShapeError
+from repro.memory.tensor import SimTensor
+from repro.runtime.context import DistContext
+from repro.sim.engine import Process, ProcessGen, Timeout
+
+#: SM channels an NCCL kernel occupies while driving the protocol.
+DEFAULT_COMM_SMS = 20
+
+#: process-wide uid so several NcclCollectives instances on one context
+#: never collide on signal-bank names
+_UID = itertools.count(1)
+
+
+class NcclCollectives:
+    """Collective operations bound to a :class:`DistContext`."""
+
+    def __init__(self, ctx: DistContext, comm_sms: int = DEFAULT_COMM_SMS):
+        self.ctx = ctx
+        self.machine = ctx.machine
+        self.comm_sms = comm_sms
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _bank(self, tag: str, cells: int):
+        return self.ctx.heap.alloc_signals(f"nccl.{tag}.{next(_UID)}", cells)
+
+    def _launch(self, gen_factory, stream_name: str, tag: str) -> list[Process]:
+        procs = []
+        for rank in range(self.machine.world_size):
+            stream = self.machine.stream(rank, stream_name)
+            procs.append(stream.enqueue(
+                gen_factory(rank), name=f"{tag}[{rank}]",
+                start_delay=self.machine.cost.launch_overhead()))
+        return procs
+
+    def _occupy_sms(self, rank: int) -> ProcessGen:
+        device = self.machine.device(rank)
+        n = min(self.comm_sms, device.sms.capacity)
+        yield device.sms.acquire(n)
+        return n
+
+    @staticmethod
+    def _row_segments(rows: int, world: int) -> list[tuple[int, int]]:
+        if rows % world != 0:
+            raise ShapeError(
+                f"collective extent {rows} not divisible by world {world}")
+        seg = rows // world
+        return [(r * seg, (r + 1) * seg) for r in range(world)]
+
+    # -- AllGather -----------------------------------------------------------------
+
+    def all_gather(self, src_name: str, dst_name: str,
+                   stream_name: str = "default") -> list[Process]:
+        """Ring AllGather: per-rank shards (m, n) -> full (m*R, n) everywhere."""
+        ctx, machine = self.ctx, self.machine
+        world = machine.world_size
+        shards = ctx.heap.tensors(src_name)
+        dsts = ctx.heap.tensors(dst_name)
+        m, = {t.shape[0] for t in shards}
+        if dsts[0].shape[0] != m * world:
+            raise ShapeError(
+                f"all_gather: dst rows {dsts[0].shape[0]} != shard rows "
+                f"{m} * world {world}")
+        arrived = self._bank("ag", world)
+        seg_bytes = shards[0].nbytes
+
+        def rank_proc(rank: int) -> ProcessGen:
+            held = yield from self._occupy_sms(rank)
+            device = machine.device(rank)
+            try:
+                t0 = machine.now
+                # local shard into the gathered view (HBM copy)
+                arrival = device.reserve_hbm(2 * seg_bytes)
+                yield Timeout(max(0.0, arrival - machine.now))
+                if machine.config.execute_numerics:
+                    dsts[rank].write_tile(
+                        ((rank * m, (rank + 1) * m), (0, dsts[rank].shape[1])),
+                        shards[rank].numpy())
+                arrived[rank].post_add(rank, 1, from_rank=rank)
+                nxt = (rank + 1) % world
+                for step in range(world - 1):
+                    seg = (rank - step) % world
+                    if step > 0:
+                        yield arrived[rank].wait_geq(seg, 1)
+                    payload = dsts[rank].read_tile(
+                        ((seg * m, (seg + 1) * m), (0, dsts[rank].shape[1])))
+                    yield machine.interconnect.transfer(
+                        rank, nxt, seg_bytes, "nccl")
+                    if machine.config.execute_numerics:
+                        dsts[nxt].write_tile(
+                            ((seg * m, (seg + 1) * m),
+                             (0, dsts[nxt].shape[1])), payload)
+                    arrived[nxt].post_add(seg, 1, from_rank=rank)
+                if machine.config.trace:
+                    machine.record(rank, "comm", f"nccl.ag:{src_name}",
+                                   t0, machine.now)
+                # SPMD exit barrier: every segment present locally
+                for seg in range(world):
+                    yield arrived[rank].wait_geq(seg, 1)
+            finally:
+                device.sms.release(held)
+            return None
+
+        return self._launch(rank_proc, stream_name, f"nccl.ag.{src_name}")
+
+    # -- ReduceScatter ---------------------------------------------------------------
+
+    def reduce_scatter(self, src_name: str, dst_name: str,
+                       stream_name: str = "default") -> list[Process]:
+        """Ring ReduceScatter over rows: (M, n) per rank -> (M/R, n) sums.
+
+        Rank r ends with ``sum_q src[q][seg_r]`` where seg_r is the r-th row
+        segment.
+        """
+        ctx, machine = self.ctx, self.machine
+        world = machine.world_size
+        srcs = ctx.heap.tensors(src_name)
+        dsts = ctx.heap.tensors(dst_name)
+        rows, cols = srcs[0].shape
+        segments = self._row_segments(rows, world)
+        seg_rows = rows // world
+        if dsts[0].shape[0] != seg_rows:
+            raise ShapeError(
+                f"reduce_scatter: dst rows {dsts[0].shape[0]} != {seg_rows}")
+        seg_bytes = seg_rows * cols * srcs[0].itemsize
+        arrived = self._bank("rs", world)
+        # numeric working buffers: partial sums as they travel the ring
+        partials: list[dict[int, np.ndarray]] = [dict() for _ in range(world)]
+
+        def rank_proc(rank: int) -> ProcessGen:
+            held = yield from self._occupy_sms(rank)
+            device = machine.device(rank)
+            try:
+                t0 = machine.now
+                nxt = (rank + 1) % world
+                for step in range(world - 1):
+                    seg = (rank - step - 1) % world
+                    lo, hi = segments[seg]
+                    if step > 0:
+                        # the partial for this segment landed here last step
+                        yield arrived[rank].wait_geq(seg, 1)
+                    if machine.config.execute_numerics:
+                        local = srcs[rank].read_tile(((lo, hi), (0, cols)))
+                        acc = partials[rank].pop(seg, None)
+                        payload = local.astype(np.float32) if acc is None \
+                            else local.astype(np.float32) + acc
+                    else:
+                        payload = None
+                    # reduction math on SMs, then the ring hop
+                    arrival = device.reserve_hbm(2 * seg_bytes)
+                    yield Timeout(max(0.0, arrival - machine.now))
+                    yield machine.interconnect.transfer(
+                        rank, nxt, seg_bytes, "nccl_rs")
+                    if machine.config.execute_numerics:
+                        partials[nxt][seg] = payload
+                    arrived[nxt].post_add(seg, 1, from_rank=rank)
+                # final: own segment arrives carrying world-1 partials
+                lo, hi = segments[rank]
+                yield arrived[rank].wait_geq(rank, 1)
+                arrival = device.reserve_hbm(2 * seg_bytes)
+                yield Timeout(max(0.0, arrival - machine.now))
+                if machine.config.execute_numerics:
+                    local = srcs[rank].read_tile(((lo, hi), (0, cols)))
+                    acc = partials[rank].pop(rank)
+                    total = local.astype(np.float32) + acc
+                    dsts[rank].write_tile(((0, seg_rows), (0, cols)), total)
+                if machine.config.trace:
+                    machine.record(rank, "comm", f"nccl.rs:{src_name}",
+                                   t0, machine.now)
+            finally:
+                device.sms.release(held)
+            return None
+
+        return self._launch(rank_proc, stream_name, f"nccl.rs.{src_name}")
+
+    # -- AllReduce -------------------------------------------------------------------
+
+    def all_reduce(self, src_name: str, dst_name: str,
+                   stream_name: str = "default") -> list[Process]:
+        """Ring AllReduce = ReduceScatter + AllGather (NCCL's algorithm).
+
+        Implemented by composition through an internal scratch tensor.
+        """
+        ctx = self.ctx
+        rows, cols = ctx.heap.tensors(src_name)[0].shape
+        world = self.machine.world_size
+        scratch = f"nccl.ar.scratch.{next(_UID)}"
+        ctx.heap.alloc(scratch, (rows // world, cols), "float32")
+        self.reduce_scatter(src_name, scratch, stream_name)
+        return self.all_gather(scratch, dst_name, stream_name)
+
+    # -- All2All ---------------------------------------------------------------------
+
+    def all_to_all(self, src_name: str, dst_name: str,
+                   stream_name: str = "default") -> list[Process]:
+        """Each rank scatters row-segment q of its source to rank q."""
+        ctx, machine = self.ctx, self.machine
+        world = machine.world_size
+        srcs = ctx.heap.tensors(src_name)
+        dsts = ctx.heap.tensors(dst_name)
+        rows, cols = srcs[0].shape
+        segments = self._row_segments(rows, world)
+        seg_rows = rows // world
+        seg_bytes = seg_rows * cols * srcs[0].itemsize
+        arrived = self._bank("a2a", world)
+
+        def rank_proc(rank: int) -> ProcessGen:
+            held = yield from self._occupy_sms(rank)
+            device = machine.device(rank)
+            try:
+                t0 = machine.now
+                for off in range(world):
+                    dst = (rank + off) % world
+                    lo, hi = segments[dst]
+                    payload = srcs[rank].read_tile(((lo, hi), (0, cols)))
+                    if dst == rank:
+                        arrival = device.reserve_hbm(2 * seg_bytes)
+                        yield Timeout(max(0.0, arrival - machine.now))
+                    else:
+                        yield machine.interconnect.transfer(
+                            rank, dst, seg_bytes, "nccl")
+                    if machine.config.execute_numerics:
+                        dsts[dst].write_tile(
+                            ((rank * seg_rows, (rank + 1) * seg_rows),
+                             (0, cols)), payload)
+                    arrived[dst].post_add(rank, 1, from_rank=rank)
+                for q in range(world):
+                    yield arrived[rank].wait_geq(q, 1)
+                if machine.config.trace:
+                    machine.record(rank, "comm", f"nccl.a2a:{src_name}",
+                                   t0, machine.now)
+            finally:
+                device.sms.release(held)
+            return None
+
+        return self._launch(rank_proc, stream_name, f"nccl.a2a.{src_name}")

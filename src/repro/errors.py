@@ -1,0 +1,64 @@
+"""Exception hierarchy for the TileLink reproduction.
+
+All library-raised exceptions derive from :class:`TileLinkError` so user code
+can catch one base class.  Sub-classes are grouped by subsystem: the
+simulator, the tile language frontend, the compiler backend and the runtime.
+"""
+
+from __future__ import annotations
+
+
+class TileLinkError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(TileLinkError):
+    """The discrete-event simulator reached an invalid state."""
+
+
+class DeadlockError(SimulationError):
+    """The simulator ran out of events while processes were still blocked.
+
+    This is how the substrate surfaces a lost-signal / missing-notify bug in
+    a fused kernel: a ``consumer_tile_wait`` whose producer never notifies
+    leaves its process suspended forever, and the event queue drains.
+    """
+
+    def __init__(self, message: str, blocked: list[str] | None = None):
+        super().__init__(message)
+        #: Names of the processes that were still blocked at drain time.
+        self.blocked = blocked or []
+
+
+class CompileError(TileLinkError):
+    """The tile-language frontend rejected a kernel."""
+
+    def __init__(self, message: str, lineno: int | None = None, source: str | None = None):
+        loc = f" (line {lineno})" if lineno is not None else ""
+        super().__init__(f"{message}{loc}")
+        self.lineno = lineno
+        self.source = source
+
+
+class LoweringError(TileLinkError):
+    """The backend could not lower a primitive (e.g. missing mapping)."""
+
+
+class ConsistencyError(TileLinkError):
+    """A memory-consistency violation was detected.
+
+    Raised by the consistency checker when a schedule moves a guarded
+    load/store across its acquire/release primitive (paper §4.2).
+    """
+
+
+class MappingError(TileLinkError):
+    """A tile-centric mapping was queried outside its valid domain."""
+
+
+class RuntimeLaunchError(TileLinkError):
+    """Kernel launch failed (bad grid, missing symmetric tensor, ...)."""
+
+
+class ShapeError(TileLinkError):
+    """Tile/tensor shape mismatch detected at compile or run time."""

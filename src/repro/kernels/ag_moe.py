@@ -1,0 +1,143 @@
+"""Overlapped AllGather + MoE GroupGEMM (Figure 5, dynamic mapping).
+
+The token AllGather runs on the copy engine (DMA), publishing per-shard
+arrival signals.  The consumer is a fused grouped GEMM over the
+expert-grouped padded row layout: each grouped tile
+
+1. waits on the dynamic mapping's wait set — the channels of every source
+   rank whose tokens appear in the tile (``consumer_tile_wait`` with
+   ``table`` semantics);
+2. gathers its token rows from the gathered buffer with the fused index
+   load (``tl.gather_rows`` — vLLM-style gather-in-GEMM);
+3. multiplies by its expert's weight shard (expert id from the lookup
+   table via ``tl.load_scalar``).
+
+This is the kernel the cuBLAS/CUTLASS/vLLM baselines of Figure 9 (left)
+are compared against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.collectives.copy_engine import dma_all_gather
+from repro.compiler.program import CompileOptions
+from repro.errors import ShapeError
+from repro.kernels.moe_common import MoeRouting
+from repro.lang import tl
+from repro.lang.dsl import kernel
+from repro.mapping.layout import TileGrid
+from repro.mapping.static import AffineTileMapping
+from repro.runtime.context import DistContext
+from repro.runtime.launcher import launch_spmd
+from repro.sim.engine import Process
+
+
+@kernel
+def _ag_moe_group_gemm(gathered, weights2d, ids, expert_of_tile, grouped_out,
+                       channel: tl.BlockChannel,
+                       NT: tl.constexpr, H: tl.constexpr, D: tl.constexpr,
+                       BM: tl.constexpr, BN: tl.constexpr, BK: tl.constexpr):
+    """Fused grouped GEMM consumer over NT expert-aligned tiles."""
+    bid = tl.block_id()
+    nb = tl.num_blocks()
+    tiles_n = tl.cdiv(D, BN)
+    total = NT * tiles_n
+    for i in range(bid, total, nb):
+        t = i // tiles_n
+        tid_n = i % tiles_n
+        tl.consumer_tile_wait(t)
+        e = tl.load_scalar(expert_of_tile, t)
+        idx = tl.load_vec(ids, (t * BM, t * BM + BM))
+        acc = tl.zeros((BM, BN), "float32")
+        for k in range(0, H, BK):
+            a = tl.gather_rows(gathered, idx, (k, k + BK))
+            b = tl.load(weights2d, (e * H + k, e * H + k + BK),
+                        (tid_n * BN, tid_n * BN + BN))
+            acc += tl.dot(a, b)
+        c = tl.cast(acc, "float16")
+        tl.store(grouped_out, (t * BM, t * BM + BM),
+                 (tid_n * BN, tid_n * BN + BN), c)
+
+
+@dataclass(frozen=True)
+class AgMoeConfig:
+    """Shapes for AG + MoE part 1: gathered tokens (m x h) through expert
+    shards (e x h x d_shard)."""
+
+    m: int             # gathered tokens
+    h: int             # hidden size (GEMM depth)
+    d: int             # per-rank expert intermediate shard width
+    n_experts: int
+    topk: int
+    block_m: int = 128
+    block_n: int = 128
+    block_k: int = 64
+
+    def validate(self, world: int) -> None:
+        if self.m % world != 0:
+            raise ShapeError(f"M={self.m} not divisible by world={world}")
+        if (self.m // world) % self.block_m != 0:
+            raise ShapeError("per-rank tokens must align to block_m")
+
+
+def ag_moe_overlapped(
+    ctx: DistContext,
+    cfg: AgMoeConfig,
+    routing: MoeRouting,
+    shards_name: str,
+    weights_name: str,
+    grouped_out_name: str,
+    gathered_name: str | None = None,
+    grid: int | None = None,
+    options: CompileOptions | None = None,
+    tag: str = "ag_moe",
+) -> list[Process]:
+    """Launch the overlapped AG + MoE GroupGEMM on every rank.
+
+    ``weights_name`` must be bound as a 2-d (E*H x D) symmetric tensor (the
+    flattened (E, H, D) expert stack).  ``grouped_out_name`` receives the
+    padded grouped rows (routing.padded_rows x D).
+    """
+    machine = ctx.machine
+    world = machine.world_size
+    cfg.validate(world)
+    if routing.block_m != cfg.block_m:
+        raise ShapeError("routing block_m must match kernel block_m")
+    grid = grid or machine.config.spec.n_sms
+
+    gathered_name = gathered_name or f"{tag}.gathered"
+    ctx.alloc(gathered_name, (cfg.m, cfg.h), "float16", fill=None)
+    ids_name = f"{tag}.ids"
+    ctx.bind(ids_name, [routing.padded_token_ids.copy()
+                        for _ in range(world)])
+    etile_name = f"{tag}.etile"
+    ctx.bind(etile_name, [routing.expert_of_tile.copy()
+                          for _ in range(world)])
+
+    # producer side: static AG mapping over the gathered token rows
+    ag_mapping = AffineTileMapping(cfg.m, cfg.block_m, world)
+    comm_grid = TileGrid(cfg.m, cfg.h, cfg.block_m, cfg.h)
+    consumer_grid = TileGrid(routing.padded_rows, cfg.d,
+                             cfg.block_m, cfg.block_n)
+    channels = ctx.make_block_channels(
+        tag, mapping=ag_mapping, comm_grid=comm_grid,
+        consumer_grid=consumer_grid, consumer_mapping=routing.mapping)
+
+    banks = [ch.barriers for ch in channels]
+    dma_all_gather(ctx, shards_name, gathered_name, banks,
+                   stream_name="comm",
+                   segment_notifies=ag_mapping.tiles_per_channel)
+
+    return launch_spmd(machine, _ag_moe_group_gemm, grid, dict(
+        gathered=ctx.heap.tensors(gathered_name),
+        weights2d=ctx.heap.tensors(weights_name),
+        ids=ctx.heap.tensors(ids_name),
+        expert_of_tile=ctx.heap.tensors(etile_name),
+        grouped_out=ctx.heap.tensors(grouped_out_name),
+        channel=channels,
+        NT=routing.n_tiles, H=cfg.h, D=cfg.d,
+        BM=cfg.block_m, BN=cfg.block_n, BK=cfg.block_k,
+    ), options=options, label=f"{tag}.group_gemm")

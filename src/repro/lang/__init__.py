@@ -1,0 +1,14 @@
+"""TileLink's tile language: a Python-AST-compiled tile DSL.
+
+Kernels are plain Python functions decorated with :func:`repro.lang.dsl.kernel`
+that combine Triton-style tile operations (``tl.load``, ``tl.dot``,
+``tl.store``) with TileLink's nine tile-centric primitives (Table 3 of the
+paper).  The frontend (:mod:`repro.lang.frontend`) parses the function
+source into a structured tile IR (:mod:`repro.lang.ir`); the backend passes
+live in :mod:`repro.compiler`.
+"""
+
+from repro.lang.block_channel import BlockChannel
+from repro.lang.dsl import KernelDef, constexpr, kernel
+
+__all__ = ["BlockChannel", "KernelDef", "constexpr", "kernel"]

@@ -1,0 +1,66 @@
+"""The ``@kernel`` decorator: source -> cached IR handle.
+
+A :class:`KernelDef` is what users launch through the runtime::
+
+    from repro.lang import kernel
+    from repro.lang import tl
+
+    @kernel
+    def my_gemm(a, b, c, M: tl.constexpr, N: tl.constexpr, K: tl.constexpr,
+                BLOCK: tl.constexpr):
+        ...
+
+Compilation (frontend + backend passes) happens lazily per distinct
+constexpr binding and is cached, mirroring Triton's JIT specialization.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import CompileError
+from repro.lang.frontend import compile_function
+from repro.lang.ir import KernelIR
+
+#: re-exported for annotations: ``M: constexpr``
+from repro.lang.tl import constexpr  # noqa: F401
+
+
+class KernelDef:
+    """A tile-language kernel: parsed lazily, specialized per constexprs."""
+
+    def __init__(self, fn: Callable):
+        self.fn = fn
+        self.name = fn.__name__
+        self.__doc__ = fn.__doc__
+        self._ir: KernelIR | None = None
+        #: compiled-program cache, keyed by frozen constexpr items
+        self._programs: dict[tuple, Any] = {}
+
+    @property
+    def ir(self) -> KernelIR:
+        if self._ir is None:
+            self._ir = compile_function(self.fn)
+        return self._ir
+
+    def specialization_key(self, constexprs: dict[str, Any]) -> tuple:
+        ir = self.ir
+        missing = [p for p in ir.constexpr_params if p not in constexprs]
+        if missing:
+            raise CompileError(
+                f"kernel {self.name!r} missing constexpr bindings: {missing}")
+        return tuple((k, constexprs[k]) for k in ir.constexpr_params)
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        raise CompileError(
+            f"kernel {self.name!r} cannot be called directly; launch it via "
+            "repro.runtime.launch_kernel(...)"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<KernelDef {self.name}>"
+
+
+def kernel(fn: Callable) -> KernelDef:
+    """Decorator turning a Python function into a tile-language kernel."""
+    return KernelDef(fn)

@@ -1,0 +1,286 @@
+"""Structured tile IR.
+
+The frontend compiles a kernel's Python AST into this IR; compiler passes
+annotate it; the backend interprets it per block on the simulated device.
+
+Two value categories exist at run time:
+
+* **scalars** — Python ints/floats/bools produced by :class:`Expr` trees
+  (block ids, loop counters, tile-id arithmetic, constexpr parameters);
+* **tiles** — numpy arrays (numeric mode) or shape-only stubs (timing
+  mode) produced by :class:`TileOp` statements.
+
+Statements are structured (no CFG): ``For`` and ``If`` nest blocks of
+statements.  Passes attach scheduling annotations directly to the nodes
+(``For.aggregable``, ``For.pipelined``, ``For.prefetch``, ``Load.guards``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+# ---------------------------------------------------------------------------
+# scalar expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base scalar expression."""
+
+    def walk(self) -> Iterator["Expr"]:
+        yield self
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    value: int | float | bool | str
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Name(Expr):
+    """A scalar local / parameter / constexpr reference."""
+
+    id: str
+
+    def __repr__(self) -> str:
+        return self.id
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str  # + - * // % min max < <= > >= == != and or
+    left: Expr
+    right: Expr
+
+    def walk(self) -> Iterator[Expr]:
+        yield self
+        yield from self.left.walk()
+        yield from self.right.walk()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    op: str  # - not
+    operand: Expr
+
+    def walk(self) -> Iterator[Expr]:
+        yield self
+        yield from self.operand.walk()
+
+
+@dataclass(frozen=True)
+class ChannelField(Expr):
+    """Access to a BlockChannel metadata field (e.g. channel.rank)."""
+
+    field_name: str
+
+    def __repr__(self) -> str:
+        return f"channel.{self.field_name}"
+
+
+# ---------------------------------------------------------------------------
+# tensor references
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TensorRef:
+    """A tensor parameter, optionally indexed by rank (``buffers[to_rank]``).
+
+    ``rank`` is None for "the local instance of this (symmetric) tensor".
+    """
+
+    name: str
+    rank: Expr | None = None
+
+    def __repr__(self) -> str:
+        return self.name if self.rank is None else f"{self.name}[{self.rank!r}]"
+
+
+# ---------------------------------------------------------------------------
+# statements
+# ---------------------------------------------------------------------------
+
+
+class Stmt:
+    """Base statement."""
+
+    def children(self) -> list[list["Stmt"]]:
+        """Nested statement blocks (for tree walks)."""
+        return []
+
+
+@dataclass
+class AssignScalar(Stmt):
+    target: str
+    value: Expr
+
+
+@dataclass
+class TileOp(Stmt):
+    """A tile-producing/consuming operation assigned to a local name.
+
+    ``op`` selects the semantics (see repro.compiler.ops_registry);
+    ``args`` holds Exprs, TensorRefs, strings and nested (lo, hi) Expr
+    pairs, per-op.  ``target`` is None for pure-effect ops (store).
+    """
+
+    op: str
+    target: str | None
+    args: tuple[Any, ...]
+    kwargs: dict[str, Any] = field(default_factory=dict)
+    #: filled by passes: wait statements guarding this op (consistency)
+    guards: list["Primitive"] = field(default_factory=list)
+    #: set by the pipeliner: this load may be issued one iteration early
+    prefetchable: bool = False
+    lineno: int | None = None
+
+
+@dataclass
+class Primitive(Stmt):
+    """A TileLink tile-centric primitive (Table 3)."""
+
+    name: str  # producer_tile_notify | consumer_tile_wait | peer_tile_notify
+    #        | peer_tile_wait | tile_push_data | tile_pull_data | barrier_all
+    args: tuple[Any, ...]
+    kwargs: dict[str, Any] = field(default_factory=dict)
+    target: str | None = None  # tile_pull_data produces a value
+    lineno: int | None = None
+
+    @property
+    def is_wait(self) -> bool:
+        return self.name in ("consumer_tile_wait", "peer_tile_wait", "rank_wait",
+                             "barrier_all")
+
+    @property
+    def is_notify(self) -> bool:
+        return self.name in ("producer_tile_notify", "peer_tile_notify",
+                             "rank_notify")
+
+
+@dataclass
+class For(Stmt):
+    var: str
+    start: Expr
+    stop: Expr
+    step: Expr
+    body: list[Stmt]
+    #: no sync/comm inside: backend may cost it analytically (trips x body)
+    aggregable: bool = False
+    #: software pipelining applies (multi-stage overlap of loads & compute)
+    pipelined: bool = False
+    lineno: int | None = None
+
+    def children(self) -> list[list[Stmt]]:
+        return [self.body]
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then: list[Stmt]
+    orelse: list[Stmt] = field(default_factory=list)
+    lineno: int | None = None
+
+    def children(self) -> list[list[Stmt]]:
+        return [self.then, self.orelse]
+
+
+@dataclass
+class Return(Stmt):
+    lineno: int | None = None
+
+
+# ---------------------------------------------------------------------------
+# kernel container
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class KernelIR:
+    name: str
+    #: positional parameter names, in order
+    params: list[str]
+    #: names of parameters declared tl.constexpr
+    constexpr_params: list[str]
+    #: name of the BlockChannel parameter (None if the kernel has none)
+    channel_param: str | None
+    body: list[Stmt]
+    source: str = ""
+
+    def walk_stmts(self) -> Iterator[Stmt]:
+        """All statements, depth first."""
+        stack: list[Stmt] = list(reversed(self.body))
+        while stack:
+            node = stack.pop()
+            yield node
+            for block in node.children():
+                stack.extend(reversed(block))
+
+
+def walk_block(body: list[Stmt]) -> Iterator[Stmt]:
+    """All statements under a block, depth first."""
+    stack: list[Stmt] = list(reversed(body))
+    while stack:
+        node = stack.pop()
+        yield node
+        for block in node.children():
+            stack.extend(reversed(block))
+
+
+def contains_sync(body: list[Stmt]) -> bool:
+    """True if any statement in the block is a primitive (sync/comm)."""
+    return any(isinstance(s, Primitive) for s in walk_block(body))
+
+
+# ---------------------------------------------------------------------------
+# pretty printing (debugging / golden tests)
+# ---------------------------------------------------------------------------
+
+
+def pretty(ir: KernelIR) -> str:
+    lines = [f"kernel {ir.name}({', '.join(ir.params)})"]
+
+    def emit(body: list[Stmt], depth: int) -> None:
+        pad = "  " * depth
+        for s in body:
+            if isinstance(s, AssignScalar):
+                lines.append(f"{pad}{s.target} = {s.value!r}")
+            elif isinstance(s, TileOp):
+                tgt = f"{s.target} = " if s.target else ""
+                flags = " [prefetch]" if s.prefetchable else ""
+                lines.append(f"{pad}{tgt}{s.op}{s.args!r}{flags}")
+            elif isinstance(s, Primitive):
+                tgt = f"{s.target} = " if s.target else ""
+                lines.append(f"{pad}{tgt}@{s.name}{s.args!r}")
+            elif isinstance(s, For):
+                tags = []
+                if s.aggregable:
+                    tags.append("agg")
+                if s.pipelined:
+                    tags.append("pipe")
+                tag = f" [{','.join(tags)}]" if tags else ""
+                lines.append(
+                    f"{pad}for {s.var} in range({s.start!r}, {s.stop!r}, "
+                    f"{s.step!r}){tag}:")
+                emit(s.body, depth + 1)
+            elif isinstance(s, If):
+                lines.append(f"{pad}if {s.cond!r}:")
+                emit(s.then, depth + 1)
+                if s.orelse:
+                    lines.append(f"{pad}else:")
+                    emit(s.orelse, depth + 1)
+            elif isinstance(s, Return):
+                lines.append(f"{pad}return")
+            else:  # pragma: no cover
+                lines.append(f"{pad}<?{type(s).__name__}>")
+
+    emit(ir.body, 1)
+    return "\n".join(lines)

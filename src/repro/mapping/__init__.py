@@ -1,0 +1,19 @@
+"""Tile-centric mapping: shape (f_S), rank (f_R) and channel (f_C) maps.
+
+The backend uses these to link communication and computation tiles (paper
+§4.1).  *Static* mappings are affine and resolved at compile time
+(:mod:`repro.mapping.static`); *dynamic* mappings are lookup tables filled
+at runtime, e.g. by MoE routing (:mod:`repro.mapping.dynamic`).
+"""
+
+from repro.mapping.layout import TileGrid, ceil_div
+from repro.mapping.static import AffineTileMapping
+from repro.mapping.dynamic import TableTileMapping, build_moe_consumer_mapping
+
+__all__ = [
+    "AffineTileMapping",
+    "TableTileMapping",
+    "TileGrid",
+    "build_moe_consumer_mapping",
+    "ceil_div",
+]

@@ -1,0 +1,77 @@
+"""Tile grid arithmetic shared by mappings, kernels and the compiler."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MappingError
+
+
+def ceil_div(a: int, b: int) -> int:
+    if b <= 0:
+        raise MappingError(f"ceil_div by non-positive {b}")
+    return -(-a // b)
+
+
+@dataclass(frozen=True)
+class TileGrid:
+    """A 2-d tiling of an (m x n) index space into (bm x bn) tiles.
+
+    Tile ids are row-major: ``tile_id = tid_m * tiles_n + tid_n``.  Edge
+    tiles are ragged (clamped by the accessors in
+    :class:`repro.memory.tensor.SimTensor`).
+    """
+
+    m: int
+    n: int
+    bm: int
+    bn: int
+
+    def __post_init__(self) -> None:
+        if self.m < 0 or self.n < 0:
+            raise MappingError(f"negative extent in grid {self}")
+        if self.bm <= 0 or self.bn <= 0:
+            raise MappingError(f"non-positive tile size in grid {self}")
+
+    @property
+    def tiles_m(self) -> int:
+        return ceil_div(self.m, self.bm)
+
+    @property
+    def tiles_n(self) -> int:
+        return ceil_div(self.n, self.bn)
+
+    @property
+    def n_tiles(self) -> int:
+        return self.tiles_m * self.tiles_n
+
+    def tile_coords(self, tile_id: int) -> tuple[int, int]:
+        if not 0 <= tile_id < self.n_tiles:
+            raise MappingError(f"tile_id {tile_id} out of range (grid {self})")
+        return divmod(tile_id, self.tiles_n)
+
+    def tile_id(self, tid_m: int, tid_n: int) -> int:
+        if not (0 <= tid_m < self.tiles_m and 0 <= tid_n < self.tiles_n):
+            raise MappingError(f"tile coords ({tid_m},{tid_n}) out of grid {self}")
+        return tid_m * self.tiles_n + tid_n
+
+    def ranges(self, tile_id: int) -> tuple[tuple[int, int], tuple[int, int]]:
+        """Half-open (row, col) element ranges of a tile, clamped."""
+        tid_m, tid_n = self.tile_coords(tile_id)
+        r0 = tid_m * self.bm
+        c0 = tid_n * self.bn
+        return (r0, min(r0 + self.bm, self.m)), (c0, min(c0 + self.bn, self.n))
+
+    def row_range(self, tid_m: int) -> tuple[int, int]:
+        if not 0 <= tid_m < self.tiles_m:
+            raise MappingError(f"tid_m {tid_m} out of grid {self}")
+        r0 = tid_m * self.bm
+        return r0, min(r0 + self.bm, self.m)
+
+    def tiles_covering_rows(self, lo: int, hi: int) -> range:
+        """Row-tile indices whose span intersects [lo, hi)."""
+        if lo >= hi:
+            return range(0)
+        first = max(0, lo // self.bm)
+        last = min(self.tiles_m, ceil_div(hi, self.bm))
+        return range(first, last)

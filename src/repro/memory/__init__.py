@@ -1,0 +1,7 @@
+"""Memory substrate: device tensors, NVSHMEM-like symmetric heap, signals."""
+
+from repro.memory.tensor import SimTensor
+from repro.memory.signals import SignalArray
+from repro.memory.symmetric import SymmetricHeap
+
+__all__ = ["SimTensor", "SignalArray", "SymmetricHeap"]

@@ -1,0 +1,152 @@
+"""Signal cells: the device-side barriers behind TileLink's primitives.
+
+A :class:`SignalArray` is a bank of monotonically-increasing counters living
+in one rank's memory (the paper's "channels": each rank owns ``C`` barriers
+— §4.1).  The two operations mirror the PTX the paper lowers to:
+
+* :meth:`SignalArray.post_add` — ``red.release.sys.global.add``: fire and
+  forget.  The issuing SM continues immediately; the increment lands after
+  the (local or remote) atomic latency, and release semantics are honoured
+  because callers only post *after* their data-producing instructions have
+  been applied (the compiler's consistency pass enforces that ordering).
+
+* :meth:`SignalArray.wait_geq` — a ``ld.global.acquire`` spin loop: the
+  caller suspends until the counter reaches a threshold; satisfied waits
+  cost one poll interval, unsatisfied waits wake when the matching post
+  lands.
+
+Deadlocks from lost notifies surface as :class:`repro.errors.DeadlockError`
+when the event queue drains with waiters still parked.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.costmodel import CostModel
+from repro.sim.engine import Awaitable, Process, Simulator, Timeout
+
+
+class _WaitGeq(Awaitable):
+    __slots__ = ("array", "index", "threshold")
+
+    def __init__(self, array: "SignalArray", index: int, threshold: int):
+        self.array = array
+        self.index = index
+        self.threshold = threshold
+
+    def arm(self, sim: Simulator, proc: Process) -> None:
+        self.array._arm_wait(sim, proc, self.index, self.threshold)
+
+
+class SignalArray:
+    """A bank of signal counters owned by one rank."""
+
+    def __init__(self, sim: Simulator, cost: CostModel, rank: int, n: int,
+                 name: str = "signals"):
+        if n < 1:
+            raise SimulationError(f"signal array {name!r} needs >= 1 cells")
+        self.sim = sim
+        self.cost = cost
+        self.rank = rank
+        self.name = name
+        self.values = np.zeros(n, dtype=np.int64)
+        self._waiters: dict[int, list[tuple[int, Process]]] = {}
+        #: Count of posts, for tests/ablations.
+        self.posts = 0
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < len(self.values):
+            raise SimulationError(
+                f"signal index {index} out of range for {self.name!r} "
+                f"(n={len(self.values)})"
+            )
+
+    # -- producer side -----------------------------------------------------------
+
+    def post_add(self, index: int, amount: int, from_rank: int) -> None:
+        """Fire-and-forget atomic add with release semantics.
+
+        The increment becomes visible after the atomic latency (remote if
+        the poster is on a different rank than the array's owner).
+        """
+        self._check(index)
+        if amount < 1:
+            raise SimulationError("signal increments must be positive")
+        latency = self.cost.atomic_latency(remote=(from_rank != self.rank))
+        self.posts += 1
+
+        def apply() -> None:
+            self.values[index] += amount
+            self._wake(index)
+
+        self.sim.call_later(latency, apply)
+
+    def post_set(self, index: int, value: int, from_rank: int) -> None:
+        """Fire-and-forget atomic max-set (used by host-side rank_notify)."""
+        self._check(index)
+        latency = self.cost.atomic_latency(remote=(from_rank != self.rank))
+        self.posts += 1
+
+        def apply() -> None:
+            self.values[index] = max(self.values[index], value)
+            self._wake(index)
+
+        self.sim.call_later(latency, apply)
+
+    # -- consumer side ---------------------------------------------------------
+
+    def read(self, index: int) -> int:
+        self._check(index)
+        return int(self.values[index])
+
+    def wait_geq(self, index: int, threshold: int) -> Awaitable:
+        """Awaitable: resumes once ``values[index] >= threshold``.
+
+        An already-satisfied wait still costs one poll interval (the acquire
+        load), matching a single spin iteration on hardware.
+        """
+        self._check(index)
+        if self.values[index] >= threshold:
+            return Timeout(self.cost.spin_wait_quantum())
+        return _WaitGeq(self, index, threshold)
+
+    def _arm_wait(self, sim: Simulator, proc: Process, index: int,
+                  threshold: int) -> None:
+        if self.values[index] >= threshold:  # raced with a post
+            sim.schedule(self.cost.spin_wait_quantum(), proc, None)
+            return
+        self._waiters.setdefault(index, []).append((threshold, proc))
+
+    def _wake(self, index: int) -> None:
+        waiters = self._waiters.get(index)
+        if not waiters:
+            return
+        still_blocked = []
+        current = self.values[index]
+        for threshold, proc in waiters:
+            if current >= threshold:
+                # One poll interval to observe the new value.
+                self.sim.schedule(self.cost.spin_wait_quantum(), proc, None)
+            else:
+                still_blocked.append((threshold, proc))
+        if still_blocked:
+            self._waiters[index] = still_blocked
+        else:
+            del self._waiters[index]
+
+    @property
+    def blocked_waiters(self) -> int:
+        return sum(len(ws) for ws in self._waiters.values())
+
+    def reset(self) -> None:
+        """Zero all counters (between layer invocations)."""
+        if self.blocked_waiters:
+            raise SimulationError(
+                f"cannot reset {self.name!r} with {self.blocked_waiters} blocked waiters"
+            )
+        self.values[:] = 0

@@ -1,0 +1,19 @@
+"""Model zoo + end-to-end runner for Figure 11."""
+
+from repro.models.configs import (
+    ATTENTION_BENCHES,
+    E2E_MODELS,
+    MLP_BENCHES,
+    MOE_BENCHES,
+    ModelConfig,
+)
+from repro.models.runner import e2e_model_time
+
+__all__ = [
+    "ATTENTION_BENCHES",
+    "E2E_MODELS",
+    "MLP_BENCHES",
+    "MOE_BENCHES",
+    "ModelConfig",
+    "e2e_model_time",
+]

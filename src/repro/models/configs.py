@@ -1,0 +1,113 @@
+"""Workload configurations: Table 4 benchmark shapes + Figure 11 models.
+
+The single-layer benchmark shapes are copied from the paper's Table 4
+verbatim; the end-to-end models use the published architectures of the
+eight LLMs the paper evaluates (batch 4, sequence 8192 — §7.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# --------------------------------------------------------------------------
+# Table 4 — single-layer benchmark shapes
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class MlpShape:
+    name: str
+    s: int
+    h: int
+    i: int
+    source: str
+
+
+MLP_BENCHES: list[MlpShape] = [
+    MlpShape("MLP-1", 8192, 4096, 11008, "LLaMA-7B"),
+    MlpShape("MLP-2", 8192, 4096, 14336, "LLaMA-3.1-8B"),
+    MlpShape("MLP-3", 8192, 3584, 14336, "Gemma-2-9B"),
+    MlpShape("MLP-4", 8192, 4608, 36864, "Gemma-2-27B"),
+    MlpShape("MLP-5", 8192, 8192, 28672, "LLaMA-3.1-70B"),
+    MlpShape("MLP-6", 8192, 8192, 29568, "Qwen-2-72B"),
+]
+
+
+@dataclass(frozen=True)
+class MoeShape:
+    name: str
+    s: int
+    h: int
+    i: int
+    e: int
+    topk: int
+
+
+MOE_BENCHES: list[MoeShape] = [
+    MoeShape("MoE-1", 8192, 2048, 1536, 8, 2),
+    MoeShape("MoE-2", 8192, 2048, 1536, 32, 2),
+    MoeShape("MoE-3", 8192, 2048, 1536, 32, 5),
+    MoeShape("MoE-4", 8192, 4096, 2048, 8, 2),
+    MoeShape("MoE-5", 8192, 4096, 2048, 32, 2),
+    MoeShape("MoE-6", 8192, 4096, 2048, 32, 5),
+]
+
+
+@dataclass(frozen=True)
+class AttnShape:
+    name: str
+    heads: int
+    head_dim: int
+    seq_lens: tuple[int, ...]
+
+
+ATTENTION_BENCHES: list[AttnShape] = [
+    AttnShape("Attn-1", 32, 128, (16384, 32768, 65536, 131072)),
+    AttnShape("Attn-2", 64, 128, (16384, 32768, 65536, 131072)),
+]
+
+
+# --------------------------------------------------------------------------
+# Figure 11 — end-to-end models (batch 4, sequence 8192)
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """One LLM of the end-to-end evaluation.
+
+    ``moe`` models replace the dense MLP with an expert layer;
+    ``shared_intermediate`` > 0 adds a dense (shared-expert) MLP beside the
+    MoE layer (Qwen1.5's architecture — §7.3).
+    """
+
+    name: str
+    n_layers: int
+    hidden: int
+    heads: int
+    head_dim: int
+    intermediate: int
+    moe: bool = False
+    n_experts: int = 0
+    topk: int = 0
+    shared_intermediate: int = 0
+    batch: int = 4
+    seq_len: int = 8192
+
+    @property
+    def tokens(self) -> int:
+        return self.batch * self.seq_len
+
+
+E2E_MODELS: list[ModelConfig] = [
+    ModelConfig("GPT3-6.7B", 32, 4096, 32, 128, 16384),
+    ModelConfig("LLaMA2-7B", 32, 4096, 32, 128, 11008),
+    ModelConfig("LLaMA2-13B", 40, 5120, 40, 128, 13824),
+    ModelConfig("LLaMA2-70B", 80, 8192, 64, 128, 28672),
+    ModelConfig("GPT3-175B", 96, 12288, 96, 128, 49152),
+    ModelConfig("Mixtral-8x7B", 32, 4096, 32, 128, 14336,
+                moe=True, n_experts=8, topk=2),
+    ModelConfig("Mixtral-8x22B", 56, 6144, 48, 128, 16384,
+                moe=True, n_experts=8, topk=2),
+    ModelConfig("Qwen1.5-2.7B", 24, 2048, 16, 128, 1408,
+                moe=True, n_experts=16, topk=4, shared_intermediate=5632),
+]

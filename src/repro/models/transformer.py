@@ -1,0 +1,154 @@
+"""Transformer-layer builders for the end-to-end evaluation (Figure 11).
+
+One layer = attention block + FFN block under Megatron-style tensor
+parallelism with sequence-sharded activations:
+
+* QKV projection   — AllGather + GEMM        (overlappable)
+* core attention   — flash attention, local heads (identical in both
+  systems; TileLink does not change the core in the e2e setting)
+* output projection — GEMM + ReduceScatter   (overlappable)
+* MLP / MoE        — AG+GEMM, activation, GEMM+RS (overlappable)
+
+``method`` selects how the overlappable ops run: ``"torch"`` uses the
+cuBLAS+NCCL non-overlap baselines, ``"tilelink"`` the overlapped kernels.
+Coarser 256-tiles keep the event count tractable at batch 4 x seq 8192.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import nonoverlap, vllm_moe
+from repro.kernels.ag_gemm import AgGemmConfig, ag_gemm_overlapped
+from repro.kernels.gemm_rs import GemmRsConfig, gemm_rs_overlapped
+from repro.kernels.moe_common import MoeRouting, build_moe_routing, \
+    random_router_logits
+from repro.kernels.moe_layer import MoeConfig, moe_layer_tilelink
+from repro.kernels.mlp import MlpConfig, mlp_layer_tilelink
+from repro.models.configs import ModelConfig
+from repro.ops.activation import silu_op
+from repro.ops.attention import flash_attention_op
+from repro.runtime.context import DistContext
+
+#: e2e tile sizes (coarser than the single-layer benches, for speed)
+BM, BN, BK, BMR, BNR = 256, 256, 64, 256, 512
+MOE_BLOCK_M = 256
+
+
+def _ag_gemm(ctx: DistContext, method: str, m: int, n: int, k: int,
+             x: str, w: str, out: str, tag: str) -> None:
+    if method == "tilelink":
+        cfg = AgGemmConfig(m=m, n=n, k=k, block_m=BM, block_n=BN, block_k=BK,
+                           block_mp=BM, mode="dma")
+        ag_gemm_overlapped(ctx, cfg, x, w, out, tag=tag)
+    else:
+        nonoverlap.ag_gemm_nonoverlap(ctx, m, n, k, x, w, out, tag=tag)
+
+
+def _gemm_rs(ctx: DistContext, method: str, m: int, n: int, k: int,
+             x: str, w: str, out: str, tag: str) -> None:
+    if method == "tilelink":
+        cfg = GemmRsConfig(m=m, n=n, k=k, block_m=BM, block_n=BN, block_k=BK,
+                           block_mr=BMR, block_nr=BNR, mode="hybrid")
+        gemm_rs_overlapped(ctx, cfg, x, w, out, tag=tag)
+    else:
+        nonoverlap.gemm_rs_nonoverlap(ctx, m, n, k, x, w, out, tag=tag)
+
+
+def build_attention_block(ctx: DistContext, model: ModelConfig, method: str,
+                          tag: str = "attn") -> None:
+    """QKV projection + core flash attention + output projection."""
+    world = ctx.world_size
+    tokens = model.tokens
+    h = model.hidden
+    qkv_width = 3 * model.heads * model.head_dim // world
+    heads_local = max(1, model.heads // world)
+
+    ctx.alloc(f"{tag}.x", (tokens // world, h), "float16", fill=None)
+    ctx.alloc(f"{tag}.w_qkv", (h, qkv_width), "float16", fill=None)
+    ctx.alloc(f"{tag}.qkv", (tokens, qkv_width), "float16", fill=None)
+    _ag_gemm(ctx, method, tokens, qkv_width, h,
+             f"{tag}.x", f"{tag}.w_qkv", f"{tag}.qkv", tag=f"{tag}.qkv_proj")
+
+    # core attention: per (batch x local head) over the full sequence
+    attn_w = model.heads * model.head_dim // world
+    q = ctx.alloc(f"{tag}.q", (model.seq_len, model.batch * attn_w),
+                  "float16", fill=None)
+    o = ctx.alloc(f"{tag}.o", (model.seq_len, model.batch * attn_w),
+                  "float16", fill=None)
+    for rank in range(world):
+        flash_attention_op(
+            ctx, rank, q[rank], q[rank], q[rank], o[rank],
+            heads=model.batch * heads_local, dim=model.head_dim, causal=True)
+
+    ctx.alloc(f"{tag}.ctx", (tokens, attn_w), "float16", fill=None)
+    ctx.alloc(f"{tag}.w_o", (attn_w, h), "float16", fill=None)
+    ctx.alloc(f"{tag}.out", (tokens // world, h), "float32", fill=None)
+    _gemm_rs(ctx, method, tokens, h, attn_w,
+             f"{tag}.ctx", f"{tag}.w_o", f"{tag}.out", tag=f"{tag}.o_proj")
+
+
+def build_ffn_block(ctx: DistContext, model: ModelConfig, method: str,
+                    routing: MoeRouting | None = None,
+                    tag: str = "ffn") -> None:
+    """Dense MLP, MoE layer, or (Qwen) shared-expert MLP + MoE."""
+    world = ctx.world_size
+    tokens = model.tokens
+    h = model.hidden
+
+    def dense(i: int, sub: str) -> None:
+        ctx.alloc(f"{sub}.x", (tokens // world, h), "float16", fill=None)
+        ctx.alloc(f"{sub}.w1", (h, i // world), "float16", fill=None)
+        ctx.alloc(f"{sub}.w2", (i // world, h), "float16", fill=None)
+        ctx.alloc(f"{sub}.out", (tokens // world, h), "float32", fill=None)
+        if method == "tilelink":
+            cfg = MlpConfig(m=tokens, h=h, i=i, block_m=BM, block_n=BN,
+                            block_k=BK, block_mr=BMR, block_nr=BNR)
+            mlp_layer_tilelink(ctx, cfg, f"{sub}.x", f"{sub}.w1",
+                               f"{sub}.w2", f"{sub}.out", tag=sub)
+        else:
+            cfg = MlpConfig(m=tokens, h=h, i=i)
+            nonoverlap.mlp_nonoverlap(ctx, cfg, f"{sub}.x", f"{sub}.w1",
+                                      f"{sub}.w2", f"{sub}.out", tag=sub)
+
+    if not model.moe:
+        dense(model.intermediate, f"{tag}.mlp")
+        return
+
+    if model.shared_intermediate > 0:
+        dense(model.shared_intermediate, f"{tag}.shared")
+
+    if routing is None:
+        logits = random_router_logits(tokens, model.n_experts,
+                                      seed=ctx.machine.config.seed)
+        routing = build_moe_routing(logits, tokens // world, world,
+                                    model.topk, block_m=MOE_BLOCK_M)
+    cfg = MoeConfig(m=tokens, h=h, i=model.intermediate,
+                    n_experts=model.n_experts, topk=model.topk,
+                    block_m=MOE_BLOCK_M, block_n=BN, block_k=BK,
+                    block_mr=BMR, block_nr=BNR)
+    ishard = cfg.i_shard(world)
+    ctx.alloc(f"{tag}.x", (tokens // world, h), "float16", fill=None)
+    ctx.alloc(f"{tag}.out", (tokens // world, h), "float32", fill=None)
+    if method == "tilelink":
+        ctx.alloc(f"{tag}.w1", (model.n_experts * h, ishard), "float16",
+                  fill=None)
+        ctx.alloc(f"{tag}.w2", (model.n_experts * ishard, h), "float16",
+                  fill=None)
+        moe_layer_tilelink(ctx, cfg, routing, f"{tag}.x", f"{tag}.w1",
+                           f"{tag}.w2", f"{tag}.out", tag=f"{tag}.moe")
+    else:
+        ctx.alloc(f"{tag}.w1", (model.n_experts, h, ishard), "float16",
+                  fill=None)
+        ctx.alloc(f"{tag}.w2", (model.n_experts, ishard, h), "float16",
+                  fill=None)
+        # eager-PyTorch MoE: per-expert index_select / GEMM / index_add
+        # loops with host coordination (the "cublas" tier) — the paper's
+        # Torch baseline runs eager MoE, not vLLM's fused op
+        vllm_moe.moe_layer_baseline(ctx, cfg, routing, "cublas", f"{tag}.x",
+                                    f"{tag}.w1", f"{tag}.w2", f"{tag}.out",
+                                    tag=f"{tag}.moe")
+
+
+def build_layer(ctx: DistContext, model: ModelConfig, method: str) -> None:
+    """One full transformer layer (attention block + FFN block)."""
+    build_attention_block(ctx, model, method)
+    build_ffn_block(ctx, model, method)

@@ -1,0 +1,72 @@
+"""Activation epilogues: the SiLUMul / GeLUMul between the two MLP GEMMs.
+
+Memory-bound elementwise kernels: read two operands, write one result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.memory.tensor import SimTensor
+from repro.runtime.context import DistContext
+from repro.sim.engine import Process, ProcessGen, Timeout
+
+
+def silu_mul_ref(gate: np.ndarray, up: np.ndarray) -> np.ndarray:
+    """Gold-standard SiLU(gate) * up in fp32."""
+    g = gate.astype(np.float32)
+    return (g / (1.0 + np.exp(-g))) * up.astype(np.float32)
+
+
+def _elementwise_gen(ctx: DistContext, rank: int, inputs: list[SimTensor],
+                     out: SimTensor, apply, label: str,
+                     flops_per_element: float) -> ProcessGen:
+    machine = ctx.machine
+    cost = machine.cost
+    device = machine.device(rank)
+    nbytes = sum(t.nbytes for t in inputs) + out.nbytes
+    n_elems = out.size
+    t0 = machine.now
+    arrival = device.reserve_hbm(nbytes)
+    compute = n_elems * flops_per_element / cost.spec.vector_flops
+    duration = max(nbytes / cost.hbm_effective_bandwidth,
+                   arrival - machine.now, compute)
+    yield Timeout(duration)
+    if machine.config.execute_numerics:
+        result = apply(*[t.numpy() for t in inputs])
+        out.write_tile(tuple((0, s) for s in out.shape), result)
+    if machine.config.trace:
+        machine.record(rank, "compute", label, t0, machine.now)
+    return None
+
+
+def silu_mul_op(ctx: DistContext, rank: int, gate: SimTensor, up: SimTensor,
+                out: SimTensor, stream_name: str = "default") -> Process:
+    """SwiGLU epilogue: ``out = silu(gate) * up``."""
+    if gate.shape != up.shape or gate.shape != out.shape:
+        raise ShapeError(
+            f"silu_mul shapes differ: {gate.shape}, {up.shape}, {out.shape}")
+    return ctx.machine.stream(rank, stream_name).enqueue(
+        _elementwise_gen(ctx, rank, [gate, up], out, silu_mul_ref,
+                         "silu_mul", flops_per_element=14.0),
+        name=f"silu_mul[{rank}]",
+        start_delay=ctx.machine.cost.launch_overhead())
+
+
+def silu_ref(x: np.ndarray) -> np.ndarray:
+    """Gold-standard SiLU in fp32."""
+    xf = x.astype(np.float32)
+    return xf / (1.0 + np.exp(-xf))
+
+
+def silu_op(ctx: DistContext, rank: int, x: SimTensor, out: SimTensor,
+            stream_name: str = "default") -> Process:
+    """Single-input SiLU (the paper's inter-GEMM activation layer)."""
+    if x.shape != out.shape:
+        raise ShapeError(f"silu shapes differ: {x.shape}, {out.shape}")
+    return ctx.machine.stream(rank, stream_name).enqueue(
+        _elementwise_gen(ctx, rank, [x], out, silu_ref, "silu",
+                         flops_per_element=12.0),
+        name=f"silu[{rank}]",
+        start_delay=ctx.machine.cost.launch_overhead())

@@ -1,0 +1,65 @@
+"""cuBLAS-style dense GEMM as a simulated library kernel.
+
+One launch occupies a requested share of the SM pool for the analytic
+makespan from :meth:`repro.sim.costmodel.CostModel.gemm_time_monolithic`
+(wave quantization included) and applies the numpy matmul at completion.
+This is the compute half of every non-overlap baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.memory.tensor import SimTensor
+from repro.runtime.context import DistContext
+from repro.sim.engine import Process, ProcessGen, Timeout
+
+
+def gemm_ref(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Gold-standard numpy GEMM with fp32 accumulation."""
+    return (a.astype(np.float32) @ b.astype(np.float32))
+
+
+def gemm_kernel_gen(ctx: DistContext, rank: int, a: SimTensor, b: SimTensor,
+                    c: SimTensor, n_sms: int | None = None,
+                    accumulate: bool = False) -> ProcessGen:
+    """Generator form (for composition inside other orchestration code)."""
+    machine = ctx.machine
+    if a.shape[1] != b.shape[0]:
+        raise ShapeError(f"gemm: {a.shape} x {b.shape}")
+    m, k = a.shape
+    n = b.shape[1]
+    if c.shape != (m, n):
+        raise ShapeError(f"gemm: output {c.shape} != ({m}, {n})")
+    device = machine.device(rank)
+    want = min(n_sms or device.sms.capacity, device.sms.capacity)
+    yield device.sms.acquire(want)
+    try:
+        t0 = machine.now
+        duration = machine.cost.gemm_time_monolithic(
+            m, n, k, dtype_bytes=a.itemsize, n_sms=want)
+        yield Timeout(duration)
+        if machine.config.execute_numerics:
+            result = gemm_ref(a.numpy(), b.numpy())
+            if accumulate:
+                c.accumulate_tile(((0, m), (0, n)), result)
+            else:
+                c.write_tile(((0, m), (0, n)), result)
+        if machine.config.trace:
+            machine.record(rank, "compute", "gemm", t0, machine.now)
+    finally:
+        device.sms.release(want)
+    return None
+
+
+def gemm_op(ctx: DistContext, rank: int, a: SimTensor, b: SimTensor,
+            c: SimTensor, stream_name: str = "default",
+            n_sms: int | None = None, accumulate: bool = False) -> Process:
+    """Enqueue a library GEMM on a rank's stream (with launch overhead)."""
+    stream = ctx.machine.stream(rank, stream_name)
+    return stream.enqueue(
+        gemm_kernel_gen(ctx, rank, a, b, c, n_sms, accumulate),
+        name=f"gemm[{rank}]",
+        start_delay=ctx.machine.cost.launch_overhead(),
+    )

@@ -1,0 +1,37 @@
+"""Discrete-event simulated multi-GPU substrate.
+
+This package is the hardware the reproduction "runs on": a discrete-event
+engine (:mod:`repro.sim.engine`), counting/bandwidth resources
+(:mod:`repro.sim.resources`), a GPU device model with SM pools and copy
+engines (:mod:`repro.sim.device`), an NVLink/NVSwitch + inter-node
+interconnect (:mod:`repro.sim.interconnect`), CUDA-like streams and host
+launch semantics (:mod:`repro.sim.stream`, :mod:`repro.sim.host`), the
+calibrated cost model (:mod:`repro.sim.costmodel`) and timeline tracing
+(:mod:`repro.sim.trace`).
+"""
+
+from repro.sim.engine import AllOf, Join, Process, Simulator, Timeout
+from repro.sim.resources import Pipe, Resource
+from repro.sim.costmodel import CostModel
+from repro.sim.device import Device
+from repro.sim.interconnect import Interconnect
+from repro.sim.machine import Machine
+from repro.sim.stream import Stream
+from repro.sim.trace import Trace, TraceInterval
+
+__all__ = [
+    "AllOf",
+    "CostModel",
+    "Device",
+    "Interconnect",
+    "Join",
+    "Machine",
+    "Pipe",
+    "Process",
+    "Resource",
+    "Simulator",
+    "Stream",
+    "Timeout",
+    "Trace",
+    "TraceInterval",
+]

@@ -1,0 +1,92 @@
+"""The simulated node: devices + interconnect + cost model + trace.
+
+:class:`Machine` is the top-level substrate object.  One machine = one
+simulation run.  The runtime (:mod:`repro.runtime`) launches SPMD kernels on
+it; the benchmark harness constructs a fresh machine per measurement so
+pipe watermarks and traces never leak across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.config import SimConfig
+from repro.errors import SimulationError
+from repro.sim.costmodel import CostModel
+from repro.sim.device import Device
+from repro.sim.engine import AllOf, Process, ProcessGen, Simulator
+from repro.sim.host import Host
+from repro.sim.interconnect import Interconnect
+from repro.sim.stream import Stream
+from repro.sim.trace import Trace
+
+
+class Machine:
+    """A freshly-booted simulated multi-GPU node."""
+
+    def __init__(self, config: SimConfig):
+        self.config = config
+        self.sim = Simulator()
+        self.cost = CostModel(config.spec)
+        self.trace = Trace(enabled=config.trace)
+        self.devices = [
+            Device(self.sim, rank, config.spec) for rank in range(config.world_size)
+        ]
+        self.interconnect = Interconnect(self.sim, config)
+        self.hosts = [
+            Host(self.sim, rank, self.cost, self.trace if config.trace else None)
+            for rank in range(config.world_size)
+        ]
+        self._streams: dict[tuple[int, str], Stream] = {}
+        self._finished = False
+
+    # -- structure -------------------------------------------------------------
+
+    @property
+    def world_size(self) -> int:
+        return self.config.world_size
+
+    def device(self, rank: int) -> Device:
+        if not 0 <= rank < self.world_size:
+            raise SimulationError(f"rank {rank} out of range")
+        return self.devices[rank]
+
+    def stream(self, rank: int, name: str = "default") -> Stream:
+        """Get-or-create a named stream on a rank (like CUDA stream pools)."""
+        key = (rank, name)
+        if key not in self._streams:
+            self._streams[key] = Stream(self.sim, rank, name=f"{name}[{rank}]")
+        return self._streams[key]
+
+    # -- execution ---------------------------------------------------------------
+
+    def spawn(self, gen: ProcessGen, name: str = "proc") -> Process:
+        return self.sim.spawn(gen, name=name)
+
+    def spawn_per_rank(self, factory: Any, name: str = "rank") -> list[Process]:
+        """Spawn one process per rank from ``factory(rank) -> generator``."""
+        return [
+            self.sim.spawn(factory(rank), name=f"{name}[{rank}]")
+            for rank in range(self.world_size)
+        ]
+
+    def run(self, until: float | None = None) -> float:
+        """Drain the event loop; returns the total simulated time (seconds)."""
+        if self._finished and until is None:
+            raise SimulationError(
+                "machine already ran to completion; build a fresh Machine per run"
+            )
+        t = self.sim.run(until=until)
+        if until is None:
+            self._finished = True
+        return t
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    # -- convenience -----------------------------------------------------------
+
+    def record(self, rank: int, category: str, label: str,
+               start: float, end: float) -> None:
+        self.trace.record(rank, category, label, start, end)

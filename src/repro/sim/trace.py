@@ -1,0 +1,131 @@
+"""Timeline tracing: per-resource busy intervals for overlap analysis.
+
+The profiler uses traces to answer the question behind Figure 10's overlap
+ratio: *how much of the communication time is hidden under computation?*
+Intervals are tagged with a category (``"compute"``, ``"comm"``, ``"host"``,
+``"sync"``) and the rank they belong to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable
+
+CATEGORIES = ("compute", "comm", "host", "sync", "memory")
+
+
+@dataclass(frozen=True)
+class TraceInterval:
+    """One busy interval on one resource of one rank."""
+
+    rank: int
+    category: str
+    label: str
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"interval ends before it starts: {self}")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def merge_intervals(spans: Iterable[tuple[float, float]]) -> list[tuple[float, float]]:
+    """Union of possibly-overlapping spans as a sorted disjoint list."""
+    ordered = sorted((s, e) for s, e in spans if e > s)
+    merged: list[tuple[float, float]] = []
+    for s, e in ordered:
+        if merged and s <= merged[-1][1]:
+            last_s, last_e = merged[-1]
+            merged[-1] = (last_s, max(last_e, e))
+        else:
+            merged.append((s, e))
+    return merged
+
+
+def total_time(spans: Iterable[tuple[float, float]]) -> float:
+    """Total covered time of the union of spans."""
+    return sum(e - s for s, e in merge_intervals(spans))
+
+
+def intersect_time(
+    a: Iterable[tuple[float, float]], b: Iterable[tuple[float, float]]
+) -> float:
+    """Total time covered by both span sets simultaneously."""
+    ma, mb = merge_intervals(a), merge_intervals(b)
+    i = j = 0
+    out = 0.0
+    while i < len(ma) and j < len(mb):
+        s = max(ma[i][0], mb[j][0])
+        e = min(ma[i][1], mb[j][1])
+        if e > s:
+            out += e - s
+        if ma[i][1] < mb[j][1]:
+            i += 1
+        else:
+            j += 1
+    return out
+
+
+class Trace:
+    """Collects :class:`TraceInterval` records during a simulation run."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.intervals: list[TraceInterval] = []
+
+    def record(self, rank: int, category: str, label: str, start: float, end: float) -> None:
+        if not self.enabled:
+            return
+        if category not in CATEGORIES:
+            raise ValueError(f"unknown trace category {category!r}")
+        self.intervals.append(TraceInterval(rank, category, label, start, end))
+
+    # -- analysis ------------------------------------------------------------
+
+    def spans(self, category: str | None = None, rank: int | None = None
+              ) -> list[tuple[float, float]]:
+        return [
+            (iv.start, iv.end)
+            for iv in self.intervals
+            if (category is None or iv.category == category)
+            and (rank is None or iv.rank == rank)
+        ]
+
+    def busy_time(self, category: str, rank: int | None = None) -> float:
+        """Union time the given category was active (per rank or global)."""
+        return total_time(self.spans(category, rank))
+
+    def overlap_time(self, cat_a: str, cat_b: str, rank: int | None = None) -> float:
+        """Time during which both categories were simultaneously active."""
+        return intersect_time(self.spans(cat_a, rank), self.spans(cat_b, rank))
+
+    def makespan(self) -> float:
+        if not self.intervals:
+            return 0.0
+        return max(iv.end for iv in self.intervals) - min(iv.start for iv in self.intervals)
+
+    def render(self, width: int = 80, rank: int | None = None) -> str:
+        """Tiny ASCII timeline, one row per (rank, category)."""
+        ivs = [iv for iv in self.intervals if rank is None or iv.rank == rank]
+        if not ivs:
+            return "(empty trace)"
+        t0 = min(iv.start for iv in ivs)
+        t1 = max(iv.end for iv in ivs)
+        span = max(t1 - t0, 1e-12)
+        keys = sorted({(iv.rank, iv.category) for iv in ivs})
+        rows = []
+        for r, cat in keys:
+            cells = [" "] * width
+            for iv in ivs:
+                if iv.rank != r or iv.category != cat:
+                    continue
+                lo = int((iv.start - t0) / span * (width - 1))
+                hi = max(lo, int((iv.end - t0) / span * (width - 1)))
+                for x in range(lo, hi + 1):
+                    cells[x] = cat[0].upper()
+            rows.append(f"rank{r}/{cat:<7} |{''.join(cells)}|")
+        return "\n".join(rows)

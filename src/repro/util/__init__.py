@@ -1,0 +1,6 @@
+"""Shared small utilities: statistics, ASCII tables, size formatting."""
+
+from repro.util.stats import geomean, mean, speedup_table
+from repro.util.tables import format_table, render_bar_chart
+
+__all__ = ["geomean", "mean", "speedup_table", "format_table", "render_bar_chart"]

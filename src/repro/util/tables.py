@@ -1,0 +1,94 @@
+"""Plain-text table / bar-chart rendering for the benchmark harness.
+
+The harness prints results in the same rows/series the paper reports; these
+helpers keep that output readable in a terminal and in the committed
+``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render an aligned ASCII table.
+
+    Floats are formatted with ``float_fmt``; everything else with ``str``.
+    """
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_fmt.format(cell)
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append(sep)
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def render_bar_chart(
+    series: Mapping[str, Sequence[float]],
+    labels: Sequence[str],
+    title: str | None = None,
+    width: int = 40,
+) -> str:
+    """Render grouped horizontal bars (one group per label) in ASCII.
+
+    Used to echo the paper's bar figures next to the numeric tables.
+    """
+    peak = max((max(vals) for vals in series.values() if len(vals)), default=1.0)
+    peak = max(peak, 1e-12)
+    name_w = max((len(n) for n in series), default=0)
+    label_w = max((len(str(l)) for l in labels), default=0)
+    out = []
+    if title:
+        out.append(title)
+    for i, label in enumerate(labels):
+        out.append(f"{str(label):<{label_w}}")
+        for name, vals in series.items():
+            if i >= len(vals):
+                continue
+            v = vals[i]
+            bar = "#" * max(1, round(width * v / peak)) if v > 0 else ""
+            out.append(f"  {name:<{name_w}} |{bar} {v:.3f}")
+    return "\n".join(out)
+
+
+def format_bytes(n: float) -> str:
+    """Human-readable byte count (binary units)."""
+    units = ["B", "KiB", "MiB", "GiB", "TiB"]
+    x = float(n)
+    for u in units:
+        if abs(x) < 1024.0 or u == units[-1]:
+            return f"{x:.2f} {u}" if u != "B" else f"{int(x)} B"
+        x /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_time(seconds: float) -> str:
+    """Human-readable duration (µs/ms/s)."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.2f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.3f} ms"
+    return f"{seconds:.4f} s"

@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import SimConfig
+from repro.runtime.context import DistContext
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def make_ctx(world: int = 4, numerics: bool = True, trace: bool = False,
+             **kw) -> DistContext:
+    cfg = SimConfig(world_size=world, execute_numerics=numerics, trace=trace,
+                    **kw)
+    return DistContext.create(cfg)
+
+
+@pytest.fixture
+def ctx4() -> DistContext:
+    """A 4-rank numeric-mode context."""
+    return make_ctx(4)
+
+
+@pytest.fixture
+def ctx2() -> DistContext:
+    return make_ctx(2)

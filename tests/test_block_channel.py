@@ -1,0 +1,82 @@
+"""Tests for the BlockChannel special argument (Figure 7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LoweringError
+from repro.lang.block_channel import BlockChannel
+from repro.mapping.dynamic import TableTileMapping
+from repro.mapping.layout import TileGrid
+from repro.mapping.static import AffineTileMapping
+from tests.conftest import make_ctx
+
+
+def _channels(ctx, **kw):
+    mapping = kw.pop("mapping", AffineTileMapping(64, 16, ctx.world_size))
+    grid = TileGrid(64, 32, 16, 32)
+    return ctx.make_block_channels("t", mapping=mapping, comm_grid=grid,
+                                   consumer_grid=grid, **kw)
+
+
+def test_scalar_fields(ctx2):
+    ch = _channels(ctx2)[1]
+    assert ch.scalar_field("rank") == 1
+    assert ch.scalar_field("num_ranks") == 2
+    assert ch.num_barriers == 2          # one channel per rank
+    assert ch.num_producer_blocks == ch.num_consumer_blocks == 4
+    with pytest.raises(LoweringError):
+        ch.scalar_field("does_not_exist")
+    with pytest.raises(LoweringError):
+        ch.scalar_field("barriers")      # not a scalar
+
+
+def test_consumer_wait_list_static(ctx2):
+    ch = _channels(ctx2)[0]
+    # row-tile 0 covers rows [0,16) -> channel 0, threshold = 2 tiles/channel
+    assert ch.consumer_wait_list(0) == [(0, 2)]
+    assert ch.consumer_wait_list(2) == [(1, 2)]
+
+
+def test_threshold_scale(ctx2):
+    ch = _channels(ctx2, threshold_scale=3)[0]
+    assert ch.consumer_wait_list(0) == [(0, 6)]
+
+
+def test_consumer_mapping_overrides_static(ctx2):
+    dyn = TableTileMapping(4, 2, 2)
+    dyn.channel_threshold[:] = 7
+    for t in range(4):
+        dyn.fill(t, t * 16, (t + 1) * 16, t % 2, t % 2)
+    ch = _channels(ctx2, consumer_mapping=dyn)[0]
+    assert ch.consumer_wait_list(1) == [(1, 7)]
+
+
+def test_missing_mapping_raises(ctx2):
+    ch = BlockChannel(rank=0, num_ranks=2, comm_blocks=0)
+    with pytest.raises(LoweringError):
+        ch.require_mapping()
+    with pytest.raises(LoweringError):
+        ch.consumer_wait_list(0)
+
+
+def test_is_dynamic_flag(ctx2):
+    static_ch = _channels(ctx2)[0]
+    assert not static_ch.is_dynamic
+    dyn = TableTileMapping(2, 2, 2)
+    dyn_ch = BlockChannel(rank=0, num_ranks=2, comm_blocks=0,
+                          producer_mapping=dyn)
+    assert dyn_ch.is_dynamic
+
+
+def test_producer_queries(ctx2):
+    ch = _channels(ctx2)[0]
+    assert ch.producer_range(0) == (0, 16)
+    assert ch.producer_rank(3) == 1
+    assert ch.producer_channel(3) == 1
+
+
+def test_banks_are_shared_across_ranks(ctx2):
+    channels = _channels(ctx2)
+    # rank 0's view of rank 1's bank is the same object rank 1 waits on
+    assert channels[0].all_barriers[1] is channels[1].barriers

@@ -1,0 +1,80 @@
+"""Tests for configuration objects and the public API surface."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.config import A100, H800, HardwareSpec, SimConfig
+from repro.errors import (
+    CompileError,
+    ConsistencyError,
+    DeadlockError,
+    LoweringError,
+    MappingError,
+    RuntimeLaunchError,
+    ShapeError,
+    SimulationError,
+    TileLinkError,
+)
+
+
+def test_h800_matches_paper_testbed():
+    assert H800.n_sms == 132
+    # the export-cut NVLink: 400 GB/s bidirectional
+    assert H800.nvlink_egress + H800.nvlink_ingress == pytest.approx(400e9)
+    assert H800.tensor_flops > 9e14
+
+
+def test_spec_scaled_copies():
+    fat = H800.scaled(nvlink_egress=900e9)
+    assert fat.nvlink_egress == 900e9
+    assert H800.nvlink_egress == 200e9      # original untouched (frozen)
+    assert A100.n_sms == 108
+
+
+def test_simconfig_validation():
+    with pytest.raises(ValueError):
+        SimConfig(world_size=0)
+    with pytest.raises(ValueError):
+        SimConfig(world_size=4, n_nodes=3)   # uneven split
+
+
+def test_node_topology_helpers():
+    cfg = SimConfig(world_size=8, n_nodes=2)
+    assert cfg.ranks_per_node == 4
+    assert cfg.node_of(0) == 0 and cfg.node_of(7) == 1
+    assert cfg.same_node(0, 3) and not cfg.same_node(3, 4)
+    with pytest.raises(ValueError):
+        cfg.node_of(8)
+
+
+def test_error_hierarchy():
+    for exc in (SimulationError, DeadlockError, CompileError, LoweringError,
+                ConsistencyError, MappingError, RuntimeLaunchError,
+                ShapeError):
+        assert issubclass(exc, TileLinkError)
+    err = CompileError("bad kernel", lineno=7)
+    assert "line 7" in str(err)
+    dead = DeadlockError("stuck", blocked=["a", "b"])
+    assert dead.blocked == ["a", "b"]
+
+
+def test_public_api_exports():
+    assert repro.__version__
+    ctx = repro.DistContext.create(repro.SimConfig(world_size=2))
+    assert ctx.world_size == 2
+
+
+def test_top_level_packages_import():
+    import repro.baselines  # noqa: F401
+    import repro.bench  # noqa: F401
+    import repro.collectives  # noqa: F401
+    import repro.compiler  # noqa: F401
+    import repro.kernels  # noqa: F401
+    import repro.lang  # noqa: F401
+    import repro.mapping  # noqa: F401
+    import repro.models  # noqa: F401
+    import repro.ops  # noqa: F401
+    import repro.runtime  # noqa: F401
+    import repro.sim  # noqa: F401

@@ -1,0 +1,103 @@
+"""Integration tests: sequence-parallel attention kernels (Figure 6/10)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.kernels.attention import AgAttentionConfig, ag_attention_overlapped
+from repro.kernels.ring_attention import ring_attention
+from repro.baselines.nonoverlap import attention_nonoverlap
+from repro.ops.attention import attention_ref, heads_to_seq, seq_to_heads
+from tests.conftest import make_ctx
+
+WORLD, HEADS, DIM, S = 4, 2, 16, 256
+S_PER = S // WORLD
+WIDTH = HEADS * DIM
+
+
+def _setup(rng, fn, causal, **kw):
+    ctx = make_ctx(WORLD)
+    qs = [rng.standard_normal((S_PER, WIDTH)).astype(np.float16)
+          for _ in range(WORLD)]
+    ks = [rng.standard_normal((S_PER, WIDTH)).astype(np.float16)
+          for _ in range(WORLD)]
+    vs = [rng.standard_normal((S_PER, WIDTH)).astype(np.float16)
+          for _ in range(WORLD)]
+    ctx.bind("q", qs)
+    ctx.bind("k", ks)
+    ctx.bind("v", vs)
+    ctx.alloc("o", (S_PER, WIDTH), "float32")
+    cfg = AgAttentionConfig(heads=HEADS, head_dim=DIM, seq_len=S,
+                            causal=causal, block_q=16, block_kv=16)
+    fn(ctx, cfg, "q", "k", "v", "o", **kw)
+    ctx.run()
+    return ctx, qs, ks, vs
+
+
+@pytest.mark.parametrize("causal", [True, False])
+@pytest.mark.parametrize("fn", [ag_attention_overlapped, ring_attention,
+                                attention_nonoverlap])
+def test_attention_implementations_agree_with_reference(rng, fn, causal):
+    ctx, qs, ks, vs = _setup(rng, fn, causal)
+    k_full = np.concatenate(ks)
+    v_full = np.concatenate(vs)
+    for r in range(WORLD):
+        ref = attention_ref(seq_to_heads(qs[r], HEADS, DIM),
+                            seq_to_heads(k_full, HEADS, DIM),
+                            seq_to_heads(v_full, HEADS, DIM),
+                            causal=causal, q_offset=r * S_PER)
+        got = ctx.heap.tensor("o", r).numpy()
+        assert np.max(np.abs(got - heads_to_seq(ref))) < 0.05, (fn, r)
+
+
+def test_config_validation():
+    cfg = AgAttentionConfig(heads=2, head_dim=16, seq_len=100)
+    with pytest.raises(ShapeError):
+        cfg.validate(8)
+    assert cfg.width == 32
+
+
+def test_tilelink_attention_beats_baselines_at_scale():
+    times = {}
+    for name, fn in (("tilelink", ag_attention_overlapped),
+                     ("ring", ring_attention),
+                     ("torch", attention_nonoverlap)):
+        ctx = make_ctx(8, numerics=False)
+        seq = 16384
+        cfg = AgAttentionConfig(heads=32, head_dim=128, seq_len=seq)
+        s_per = seq // 8
+        for n in ("q", "k", "v"):
+            ctx.alloc(n, (s_per, cfg.width), "float16")
+        ctx.alloc("o", (s_per, cfg.width), "float32")
+        fn(ctx, cfg, "q", "k", "v", "o")
+        times[name] = ctx.run()
+    assert times["tilelink"] < times["ring"] < times["torch"]
+
+
+def test_comm_order_adapts_to_causality():
+    """Causal runs fetch needed (below-diagonal) segments first, so the
+    overlapped kernel finishes sooner than with the non-causal ring order
+    applied blindly — checked indirectly: causal is faster than non-causal
+    (half the compute) and still correct (covered above)."""
+    times = {}
+    for causal in (True, False):
+        ctx = make_ctx(8, numerics=False)
+        cfg = AgAttentionConfig(heads=32, head_dim=128, seq_len=32768,
+                                causal=causal)
+        s_per = cfg.seq_len // 8
+        for n in ("q", "k", "v"):
+            ctx.alloc(n, (s_per, cfg.width), "float16")
+        ctx.alloc("o", (s_per, cfg.width), "float32")
+        ag_attention_overlapped(ctx, cfg, "q", "k", "v", "o")
+        times[causal] = ctx.run()
+    assert times[True] < times[False]
+
+
+def test_overlap_ratio_positive():
+    from repro.bench.experiments import attention_overlap_ratio
+    from repro.models.configs import ATTENTION_BENCHES
+
+    ratio = attention_overlap_ratio(ATTENTION_BENCHES[0], 16384)
+    assert 0.0 < ratio <= 1.2

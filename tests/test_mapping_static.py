@@ -1,0 +1,156 @@
+"""Tests for the affine tile-centric mapping (paper §4.1 formulas)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MappingError
+from repro.mapping.layout import TileGrid, ceil_div
+from repro.mapping.static import AffineTileMapping
+
+
+def brute_force_rank(mapping: AffineTileMapping, tile_id: int) -> int:
+    """Paper formula computed the long way: rank owning the tile's rows."""
+    lo, _hi = mapping.shape_range(tile_id)
+    return min(lo // mapping.per_rank, mapping.world_size - 1)
+
+
+@st.composite
+def mappings(draw):
+    world = draw(st.sampled_from([1, 2, 4, 8]))
+    tile = draw(st.sampled_from([16, 32, 64, 128]))
+    channels = draw(st.sampled_from([1, 2, 4]))
+    groups = draw(st.integers(min_value=1, max_value=4))
+    tiles_per_rank = channels * groups  # channel-aligned (validated)
+    extent = world * tiles_per_rank * tile
+    return AffineTileMapping(extent, tile, world, channels)
+
+
+@given(mappings())
+def test_shape_range_partitions_extent(m: AffineTileMapping):
+    covered = 0
+    prev_hi = 0
+    for t in range(m.n_tiles):
+        lo, hi = m.shape_range(t)
+        assert lo == prev_hi
+        assert hi > lo
+        covered += hi - lo
+        prev_hi = hi
+    assert covered == m.extent
+
+
+@given(mappings())
+def test_rank_mapping_matches_paper_formula(m: AffineTileMapping):
+    for t in range(m.n_tiles):
+        # the paper: src_rank = floor(t / floor(M_per_rank / T_mp))
+        expected = min(t // (m.per_rank // m.tile), m.world_size - 1)
+        assert m.rank_of(t) == expected == brute_force_rank(m, t)
+
+
+@given(mappings())
+def test_channel_mapping_matches_paper_formula(m: AffineTileMapping):
+    for t in range(m.n_tiles):
+        expected = min(t // max(1, m.per_channel // m.tile),
+                       m.n_channels - 1)
+        assert m.channel_of(t) == expected
+
+
+@given(mappings())
+def test_channels_nest_within_ranks(m: AffineTileMapping):
+    """A tile's channel always belongs to the tile's rank."""
+    for t in range(m.n_tiles):
+        owner, _ = m.local_channel(m.channel_of(t))
+        assert owner == m.rank_of(t)
+
+
+@given(mappings())
+def test_tiles_in_channel_totals(m: AffineTileMapping):
+    assert sum(m.tiles_in_channel(c) for c in range(m.n_channels)) \
+        == m.n_tiles
+
+
+@given(mappings(), st.data())
+def test_wait_list_covers_exactly_the_producers(m: AffineTileMapping, data):
+    """Consumer waiting per wait_list observes every producer tile that
+    overlaps its row span — the correctness contract of consumer_tile_wait."""
+    lo = data.draw(st.integers(min_value=0, max_value=m.extent - 1))
+    hi = data.draw(st.integers(min_value=lo + 1, max_value=m.extent))
+    channels = {c for c, _thr in m.wait_list(lo, hi)}
+    # every producer tile overlapping [lo, hi) maps to a waited channel
+    for t in range(m.n_tiles):
+        tlo, thi = m.shape_range(t)
+        if thi > lo and tlo < hi:
+            assert m.channel_of(t) in channels
+    # thresholds equal the channel's full producer count
+    for c, thr in m.wait_list(lo, hi):
+        assert thr == m.tiles_in_channel(c)
+
+
+def test_owner_of_element():
+    m = AffineTileMapping(extent=256, tile=32, world_size=4)
+    assert m.owner_of_element(0) == 0
+    assert m.owner_of_element(63) == 0
+    assert m.owner_of_element(64) == 1
+    assert m.owner_of_element(255) == 3
+    with pytest.raises(MappingError):
+        m.owner_of_element(256)
+
+
+def test_validation_errors():
+    with pytest.raises(MappingError):
+        AffineTileMapping(extent=0, tile=32, world_size=4)
+    with pytest.raises(MappingError):
+        AffineTileMapping(extent=100, tile=32, world_size=4)  # misaligned
+    m = AffineTileMapping(extent=256, tile=32, world_size=4)
+    with pytest.raises(MappingError):
+        m.shape_range(m.n_tiles)
+    with pytest.raises(MappingError):
+        m.channel_range(m.n_channels)
+
+
+def test_channels_covering_empty_span():
+    m = AffineTileMapping(extent=256, tile=32, world_size=4)
+    assert m.channels_covering(10, 10) == []
+    assert m.wait_list(5, 5) == []
+
+
+# ---------------------------------------------------------------------------
+# TileGrid
+# ---------------------------------------------------------------------------
+
+def test_tile_grid_roundtrip():
+    g = TileGrid(100, 60, 32, 16)
+    assert g.tiles_m == 4 and g.tiles_n == 4
+    for t in range(g.n_tiles):
+        tm, tn = g.tile_coords(t)
+        assert g.tile_id(tm, tn) == t
+
+
+def test_tile_grid_clamps_edges():
+    g = TileGrid(100, 60, 32, 16)
+    (r0, r1), (c0, c1) = g.ranges(g.n_tiles - 1)
+    assert r1 == 100 and c1 == 60
+    assert r1 - r0 == 4   # 100 - 3*32
+
+
+def test_tile_grid_rows_covering():
+    g = TileGrid(128, 10, 32, 10)
+    assert list(g.tiles_covering_rows(0, 32)) == [0]
+    assert list(g.tiles_covering_rows(31, 33)) == [0, 1]
+    assert list(g.tiles_covering_rows(0, 128)) == [0, 1, 2, 3]
+    assert list(g.tiles_covering_rows(5, 5)) == []
+
+
+def test_tile_grid_validation():
+    with pytest.raises(MappingError):
+        TileGrid(10, 10, 0, 5)
+    with pytest.raises(MappingError):
+        ceil_div(5, 0)
+    g = TileGrid(64, 64, 32, 32)
+    with pytest.raises(MappingError):
+        g.tile_coords(4)
+    with pytest.raises(MappingError):
+        g.tile_id(2, 0)
+    with pytest.raises(MappingError):
+        g.row_range(2)

@@ -1,0 +1,182 @@
+"""Tests for SimTensor, the symmetric heap and remote data movement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import SimConfig
+from repro.errors import RuntimeLaunchError, ShapeError
+from repro.memory.tensor import SimTensor, resolve_dtype
+from repro.memory.symmetric import SymmetricHeap
+from repro.sim.engine import Timeout
+from repro.sim.machine import Machine
+from tests.conftest import make_ctx
+
+
+def test_dtype_resolution():
+    assert resolve_dtype("float16") == np.float16
+    assert resolve_dtype(np.float32) == np.float32
+    with pytest.raises(ShapeError):
+        resolve_dtype("bfloat128")
+
+
+def test_tensor_metadata():
+    t = SimTensor.zeros("x", (4, 8), "float16", rank=0)
+    assert t.size == 32
+    assert t.nbytes == 64
+    assert t.materialized
+    stub = SimTensor.zeros("y", (4, 8), "float16", rank=0, materialize=False)
+    assert not stub.materialized
+    with pytest.raises(ShapeError):
+        stub.numpy()
+
+
+def test_tensor_shape_validation():
+    with pytest.raises(ShapeError):
+        SimTensor("x", (-1, 2), "float32", 0)
+    with pytest.raises(ShapeError):
+        SimTensor("x", (2, 2), "float32", 0, data=np.zeros((3, 3)))
+
+
+def test_tile_read_write_roundtrip(rng):
+    data = rng.standard_normal((10, 12)).astype(np.float32)
+    t = SimTensor.from_array("x", data, rank=0)
+    tile = t.read_tile(((2, 5), (3, 9)))
+    assert np.array_equal(tile, data[2:5, 3:9])
+    t.write_tile(((0, 3), (0, 3)), np.ones((3, 3), dtype=np.float32))
+    assert (t.numpy()[:3, :3] == 1).all()
+
+
+def test_tile_clamping_at_edges(rng):
+    data = rng.standard_normal((10, 10)).astype(np.float32)
+    t = SimTensor.from_array("x", data, rank=0)
+    tile = t.read_tile(((8, 16), (8, 16)))   # requested 8x8, clamped 2x2
+    assert tile.shape == (2, 2)
+    # writes clamp too: full tile cropped into the remaining region
+    t.write_tile(((8, 16), (8, 16)), np.full((8, 8), 5.0, dtype=np.float32))
+    assert (t.numpy()[8:, 8:] == 5.0).all()
+    assert t.tile_bytes(((8, 16), (8, 16))) == 2 * 2 * 4
+
+
+def test_accumulate_tile(rng):
+    t = SimTensor.zeros("x", (4, 4), "float32", rank=0)
+    t.accumulate_tile(((0, 4), (0, 4)), np.ones((4, 4)))
+    t.accumulate_tile(((0, 4), (0, 4)), np.ones((4, 4)))
+    assert (t.numpy() == 2).all()
+
+
+def test_timing_mode_tensors_noop():
+    t = SimTensor.zeros("x", (4, 4), "float32", rank=0, materialize=False)
+    assert t.read_tile(((0, 2), (0, 2))) is None
+    t.write_tile(((0, 2), (0, 2)), None)      # silently ignored
+    t.accumulate_tile(((0, 2), (0, 2)), None)
+    assert t.tile_bytes(((0, 4), (0, 4))) == 64
+
+
+def test_bad_ranges_rejected():
+    t = SimTensor.zeros("x", (4, 4), "float32", rank=0)
+    with pytest.raises(ShapeError):
+        t.read_tile(((0, 2),))          # wrong arity
+    with pytest.raises(ShapeError):
+        t.read_tile(((2, 1), (0, 2)))   # hi < lo
+
+
+@given(st.integers(1, 20), st.integers(1, 20), st.integers(0, 25),
+       st.integers(0, 25), st.integers(1, 10), st.integers(1, 10))
+@settings(max_examples=50, deadline=None)
+def test_tile_bytes_matches_numpy(rows, cols, lo_r, lo_c, h, w):
+    t = SimTensor.zeros("x", (rows, cols), "float16", rank=0)
+    ranges = ((lo_r, lo_r + h), (lo_c, lo_c + w))
+    region = t.read_tile(ranges)
+    assert t.tile_bytes(ranges) == region.size * 2
+
+
+# ---------------------------------------------------------------------------
+# symmetric heap
+# ---------------------------------------------------------------------------
+
+def test_alloc_one_instance_per_rank(ctx4):
+    tensors = ctx4.alloc("x", (4, 4), "float32")
+    assert len(tensors) == 4
+    assert [t.rank for t in tensors] == [0, 1, 2, 3]
+    with pytest.raises(RuntimeLaunchError):
+        ctx4.alloc("x", (4, 4), "float32")   # duplicate name
+
+
+def test_alloc_noise_fill_differs_across_ranks(ctx4):
+    tensors = ctx4.alloc("x", (8, 8), "float32", fill=None)
+    assert not np.array_equal(tensors[0].numpy(), tensors[1].numpy())
+
+
+def test_bind_validates(ctx2, rng):
+    a = rng.standard_normal((3, 3)).astype(np.float32)
+    with pytest.raises(RuntimeLaunchError):
+        ctx2.bind("x", [a])                 # wrong count
+    with pytest.raises(ShapeError):
+        ctx2.bind("y", [a, a[:2]])          # ragged
+    tensors = ctx2.bind("z", [a, a * 2])
+    assert np.allclose(tensors[1].numpy(), a * 2)
+    with pytest.raises(RuntimeLaunchError):
+        ctx2.heap.tensor("nope", 0)
+
+
+def test_put_tile_applies_at_arrival(ctx2):
+    """Data pushed between ranks is not visible before link arrival —
+    the property the memory-consistency machinery relies on."""
+    ctx2.bind("x", [np.full((4, 4), float(r), dtype=np.float32)
+                    for r in range(2)])
+    machine = ctx2.machine
+    observed = {}
+
+    def pusher(rank):
+        if rank == 0:
+            yield ctx2.heap.put_tile("x", 0, 1, ((0, 4), (0, 4)),
+                                     ((0, 4), (0, 4)))
+        else:
+            return
+
+    def early_reader(rank):
+        if rank == 1:
+            yield Timeout(1e-9)   # long before the transfer lands
+            observed["early"] = ctx2.heap.tensor("x", 1).numpy()[0, 0]
+
+    machine.spawn_per_rank(pusher, "push")
+    machine.spawn_per_rank(early_reader, "read")
+    ctx2.run()
+    assert observed["early"] == 1.0        # stale value
+    assert ctx2.heap.tensor("x", 1).numpy()[0, 0] == 0.0   # eventually lands
+
+
+def test_get_tile_snapshot_at_issue(ctx2):
+    ctx2.bind("x", [np.full((2, 2), 7.0, dtype=np.float32),
+                    np.zeros((2, 2), dtype=np.float32)])
+
+    def puller(rank):
+        if rank == 1:
+            aw = ctx2.heap.get_tile("x", 0, 1, ((0, 2), (0, 2)),
+                                    ((0, 2), (0, 2)))
+            # source mutates after issue: the pull carries the snapshot
+            ctx2.heap.tensor("x", 0).write_tile(((0, 2), (0, 2)),
+                                                np.zeros((2, 2)))
+            yield aw
+
+    ctx2.machine.spawn_per_rank(puller, "pull")
+    ctx2.run()
+    assert (ctx2.heap.tensor("x", 1).numpy() == 7.0).all()
+
+
+def test_signal_bank_alloc_and_free(ctx2):
+    banks = ctx2.heap.alloc_signals("s", 4)
+    assert len(banks) == 2 and len(banks[0]) == 4
+    with pytest.raises(RuntimeLaunchError):
+        ctx2.heap.alloc_signals("s", 4)
+    ctx2.heap.free("s")
+    ctx2.heap.alloc_signals("s", 2)  # reusable after free
+
+
+def test_heap_names(ctx2):
+    ctx2.alloc("b", (2, 2), "float32")
+    ctx2.alloc("a", (2, 2), "float32")
+    assert ctx2.heap.names() == ["a", "b"]

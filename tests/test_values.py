@@ -1,0 +1,91 @@
+"""Tests for the interpreter's tile-value layer (compiler/values.py)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler.values import (
+    TileVal,
+    apply_binary,
+    apply_unary,
+    broadcast_shapes,
+    padded_to,
+)
+from repro.errors import ShapeError
+
+
+def test_tileval_metadata():
+    t = TileVal((4, 8), np.float16, None)
+    assert t.size == 32 and t.nbytes == 64
+    arr = np.ones((2, 2), np.float32)
+    v = TileVal.from_array(arr)
+    assert v.data is arr
+    with pytest.raises(ShapeError):
+        TileVal((3, 3), np.float32, arr)
+
+
+def test_padded_to_mask_semantics(rng):
+    region = rng.standard_normal((2, 3)).astype(np.float32)
+    out = padded_to(region, (4, 4), np.float32)
+    assert out.shape == (4, 4)
+    assert np.array_equal(out[:2, :3], region)
+    assert (out[2:] == 0).all() and (out[:, 3:] == 0).all()
+    assert padded_to(None, (4, 4), np.float32) is None
+    with pytest.raises(ShapeError):
+        padded_to(region, (4,), np.float32)
+
+
+def test_broadcast_shapes():
+    assert broadcast_shapes((4, 1), (4, 8)) == (4, 8)
+    assert broadcast_shapes((), (3, 3)) == (3, 3)
+    with pytest.raises(ShapeError):
+        broadcast_shapes((3, 2), (4, 2))
+
+
+@given(st.sampled_from(["exp", "log", "relu", "neg", "silu", "gelu"]))
+@settings(max_examples=20, deadline=None)
+def test_unary_numeric_vs_stub_shapes(op):
+    rng = np.random.default_rng(0)
+    x = TileVal.from_array(np.abs(rng.standard_normal((3, 5))
+                                  .astype(np.float32)) + 0.1)
+    out = apply_unary(op, x)
+    assert out.shape == (3, 5)
+    stub = apply_unary(op, TileVal.stub((3, 5), np.float32))
+    assert stub.data is None and stub.shape == out.shape
+    assert stub.dtype == out.dtype
+
+
+def test_unary_silu_matches_definition(rng):
+    x = rng.standard_normal((4, 4)).astype(np.float32)
+    out = apply_unary("silu", TileVal.from_array(x))
+    assert np.allclose(out.data, x / (1 + np.exp(-x)), atol=1e-5)
+
+
+@given(st.sampled_from(["add", "sub", "mul", "div", "maximum_tile"]))
+@settings(max_examples=20, deadline=None)
+def test_binary_matches_numpy(op):
+    rng = np.random.default_rng(1)
+    a = rng.standard_normal((3, 4)).astype(np.float32) + 3.0
+    b = rng.standard_normal((3, 4)).astype(np.float32) + 3.0
+    out = apply_binary(op, TileVal.from_array(a), TileVal.from_array(b))
+    fn = {"add": np.add, "sub": np.subtract, "mul": np.multiply,
+          "div": np.divide, "maximum_tile": np.maximum}[op]
+    assert np.allclose(out.data, fn(a, b), rtol=1e-5)
+
+
+def test_binary_tile_scalar_mix(rng):
+    a = rng.standard_normal((2, 2)).astype(np.float32)
+    out = apply_binary("mul", TileVal.from_array(a), 2.5)
+    assert np.allclose(out.data, a * 2.5)
+    with pytest.raises(ShapeError):
+        apply_binary("add", 1.0, 2.0)
+
+
+def test_binary_stub_propagates():
+    out = apply_binary("add", TileVal.stub((4, 1), np.float16),
+                       TileVal.stub((4, 8), np.float32))
+    assert out.data is None
+    assert out.shape == (4, 8)
+    assert out.dtype == np.float32

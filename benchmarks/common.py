@@ -9,6 +9,7 @@ roughly what factor.
 
 from __future__ import annotations
 
+import json
 import os
 from collections.abc import Mapping, Sequence
 
@@ -17,6 +18,47 @@ from repro.util.tables import format_table
 
 #: REPRO_FAST=1 trims sweeps for quick iteration.
 FAST = os.environ.get("REPRO_FAST", "0") not in ("0", "", "false")
+
+
+# ---------------------------------------------------------------------------
+# Machine-readable result emitter (``--json PATH``)
+# ---------------------------------------------------------------------------
+# ``pytest benchmarks/... --json BENCH_fig8.json`` dumps every simulated
+# time printed by the tables as ``{"bench", "config", "time_s"}`` rows, so
+# successive PRs can diff a perf trajectory instead of scraping stdout.
+# The hooks live here and are re-exported by benchmarks/conftest.py (pytest
+# only discovers hooks in conftest/plugins).
+
+_json_path: str | None = None
+_json_rows: list[dict] = []
+
+
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--json", action="store", default=None, metavar="PATH",
+        help="dump {bench, config, time_s} rows for every benchmark "
+             "measurement to PATH as a JSON list")
+
+
+def pytest_configure(config) -> None:
+    global _json_path
+    _json_path = config.getoption("--json", default=None)
+    _json_rows.clear()
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    if _json_path is not None:
+        parent = os.path.dirname(os.path.abspath(_json_path))
+        os.makedirs(parent, exist_ok=True)
+        with open(_json_path, "w") as fh:
+            json.dump(_json_rows, fh, indent=1, sort_keys=True)
+
+
+def emit_json(bench: str, config: str, time_s: float) -> None:
+    """Record one measurement row (no-op unless ``--json`` was passed)."""
+    if _json_path is not None:
+        _json_rows.append({"bench": bench, "config": config,
+                           "time_s": float(time_s)})
 
 
 def print_relative_table(title: str, labels: Sequence[str],
@@ -34,6 +76,7 @@ def print_relative_table(title: str, labels: Sequence[str],
         row: list[object] = [label]
         for m in times:
             row.append(times[m][i] * 1e3)
+            emit_json(title, f"{label}/{m}", times[m][i])
         for m in times:
             r = times[baseline][i] / times[m][i]
             rel[m].append(r)

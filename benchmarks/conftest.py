@@ -1,0 +1,12 @@
+"""Pytest glue for the benchmark suite.
+
+Re-exports the ``--json`` result-emitter hooks implemented in
+``benchmarks/common.py`` (pytest only discovers hooks in conftest files
+and plugins).
+"""
+
+from benchmarks.common import (  # noqa: F401
+    pytest_addoption,
+    pytest_configure,
+    pytest_sessionfinish,
+)

@@ -1,3 +1,10 @@
+"""Shim for legacy/offline editable installs (``--no-use-pep517``).
+
+All metadata lives in pyproject.toml; modern ``pip install -e .`` uses it
+directly.  This file only enables the setuptools legacy path in
+environments without the ``wheel`` package or network access.
+"""
+
 from setuptools import setup
 
 setup()

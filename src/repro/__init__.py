@@ -16,7 +16,9 @@ Public entry points:
 * :mod:`repro.kernels` -- the overlapped kernel zoo (AG+GEMM, GEMM+RS,
   AG+MoE, MoE+RS, AG-KV+attention, full layers);
 * :mod:`repro.baselines` -- cuBLAS+NCCL / Async-TP / FLUX / vLLM baselines;
-* :mod:`repro.bench` -- the per-figure experiment drivers.
+* :mod:`repro.bench` -- the per-figure experiment drivers;
+* :mod:`repro.tuner` -- autotuning over the decoupled design space
+  (``AgGemmConfig.autotune(...)``, ``mode="auto"``, persistent cache).
 """
 
 from repro.config import H800, A100, HardwareSpec, SimConfig

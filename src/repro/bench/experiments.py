@@ -128,6 +128,44 @@ def run_method_times(builders: dict[str, Callable[[DistContext], None]],
 
 
 # ---------------------------------------------------------------------------
+# Autotuning: tuned config vs the paper's hand-picked config
+# ---------------------------------------------------------------------------
+
+def tuned_vs_paper(shape: MlpShape, kernel: str = "ag_gemm",
+                   world: int = DEFAULT_WORLD, *,
+                   strategy: str = "exhaustive",
+                   max_trials: int | None = None, cache=None,
+                   preset: str = "small") -> dict[str, object]:
+    """Autotune one MLP kernel on ``shape``; report both columns.
+
+    Returns ``paper_time`` (the shipped default config, which seeds the
+    tuner's incumbent), ``tuned_time`` and ``speedup`` alongside the
+    winning candidate and the full :class:`repro.tuner.TuneResult` (prune
+    statistics, trial log, cache provenance).
+    """
+    if kernel == "ag_gemm":
+        m, k = shape.s, shape.h
+        res = AgGemmConfig.autotune(
+            m, shape.i // world, k, world=world, strategy=strategy,
+            max_trials=max_trials, cache=cache, preset=preset,
+            full_result=True)
+    elif kernel == "gemm_rs":
+        m, n = shape.s, shape.h
+        res = GemmRsConfig.autotune(
+            m, n, shape.i // world, world=world, strategy=strategy,
+            max_trials=max_trials, cache=cache, preset=preset,
+            full_result=True)
+    else:
+        raise ValueError(f"unknown tunable kernel {kernel!r}")
+    return {
+        "paper_time": res.default_time, "tuned_time": res.best_time,
+        "speedup": (res.default_time / res.best_time
+                    if res.default_time else float("nan")),
+        "config": res.best, "result": res,
+    }
+
+
+# ---------------------------------------------------------------------------
 # MoE parts (Figure 9)
 # ---------------------------------------------------------------------------
 

@@ -17,7 +17,9 @@ performance, which is what we reproduce.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
 
 
 @dataclass(frozen=True)
@@ -81,6 +83,16 @@ class HardwareSpec:
     def scaled(self, **overrides: float) -> "HardwareSpec":
         """Return a copy with fields replaced (spec is frozen)."""
         return replace(self, **overrides)
+
+    def fingerprint(self) -> str:
+        """Stable short hash over every calibrated field.
+
+        Any field change (``replace(spec, n_sms=...)``) yields a different
+        fingerprint, so tuner caches and other persisted results keyed on a
+        spec never alias across hardware models or recalibrations.
+        """
+        payload = json.dumps(asdict(self), sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
 #: Default single-node testbed spec used across benchmarks.

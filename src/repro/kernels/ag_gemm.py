@@ -20,7 +20,8 @@ segments are still in flight.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
 from repro.collectives.copy_engine import dma_all_gather
 from repro.compiler.program import CompileOptions
@@ -29,9 +30,16 @@ from repro.lang import tl
 from repro.lang.dsl import kernel
 from repro.mapping.layout import TileGrid
 from repro.mapping.static import AffineTileMapping
+from repro.config import H800, HardwareSpec
 from repro.runtime.context import DistContext
 from repro.runtime.launcher import launch_spmd
 from repro.sim.engine import Process
+from repro.tuner.costprune import ag_gemm_lower_bound
+from repro.tuner.space import Axis, SearchSpace, divisors_of, register_space
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.tuner.cache import TuneCache
+    from repro.tuner.search import TuneResult
 
 
 @kernel
@@ -129,15 +137,128 @@ class AgGemmConfig:
     block_mp: int = 128
     comm_blocks: int = 20
     channels_per_rank: int = 1
-    mode: str = "dma"  # dma | pull | push
+    mode: str = "dma"  # dma | pull | push | auto (resolved by the tuner)
 
     def validate(self, world: int) -> None:
         if self.m % world != 0:
             raise ShapeError(f"M={self.m} not divisible by world={world}")
         if (self.m // world) % self.block_mp != 0:
             raise ShapeError("per-rank rows must align to the comm tile")
-        if self.mode not in ("dma", "pull", "push"):
+        if self.mode not in ("dma", "pull", "push", "auto"):
             raise RuntimeLaunchError(f"unknown AG+GEMM mode {self.mode!r}")
+
+    def tune_candidate(self) -> dict:
+        """This config as a tuner candidate dict (the searched axes)."""
+        return dict(block_m=self.block_m, block_n=self.block_n,
+                    block_k=self.block_k, block_mp=self.block_mp,
+                    comm_blocks=self.comm_blocks, mode=self.mode)
+
+    @classmethod
+    def autotune(cls, m: int, n: int, k: int, *, world: int = 8,
+                 spec: HardwareSpec = H800, strategy: str = "exhaustive",
+                 cache: "TuneCache | None" = None, preset: str = "small",
+                 space: SearchSpace | None = None,
+                 max_trials: int | None = None, seed: int = 0,
+                 slack: float = 0.0,
+                 full_result: bool = False) -> "AgGemmConfig | TuneResult":
+        """Search the decoupled design space for this shape; return the
+        winning config (or the full :class:`~repro.tuner.TuneResult` when
+        ``full_result`` is set)."""
+        from repro.tuner.search import tune
+
+        task = ag_gemm_tune_task(m, n, k, world=world, spec=spec,
+                                 space=space, preset=preset)
+        result = tune(task, world=world, spec=spec, strategy=strategy,
+                      cache=cache, max_trials=max_trials, seed=seed,
+                      slack=slack)
+        return result if full_result else result.best_config
+
+
+# ---------------------------------------------------------------------------
+# Tuner integration: the AG+GEMM slice of the decoupled design space
+# ---------------------------------------------------------------------------
+
+#: ``comm_blocks`` value dma candidates are canonicalised to (the copy
+#: engine ignores the axis; keeping one value avoids duplicate simulations).
+_DMA_CANONICAL_COMM_BLOCKS = 20
+
+
+def ag_gemm_search_space(m: int, n: int, k: int, world: int,
+                         preset: str = "default") -> SearchSpace:
+    """The §3.1 design space of AG+GEMM for one shape.
+
+    Axes: compute tile (``block_m/n/k``), communication tile (``block_mp``),
+    communication SM count (``comm_blocks``) and resource mapping ``mode``
+    (``dma`` = copy-engine transport; ``pull``/``push`` = SM transport in
+    either dataflow direction).  ``preset="small"`` is the compact space
+    used by ``mode="auto"`` and quick tuning runs; ``"default"`` is the
+    full sweep for offline searches.
+    """
+    per_rank = m // world
+    if preset == "small":
+        axes = (
+            Axis("block_m", divisors_of(m, (128, 256))),
+            Axis("block_n", (128,)),
+            Axis("block_k", (64,)),
+            Axis("block_mp", divisors_of(per_rank, (128, 256))),
+            Axis("comm_blocks", (2, 4, 8, 20, 40)),
+            Axis("mode", ("dma", "pull", "push")),
+        )
+    elif preset == "default":
+        axes = (
+            Axis("block_m", divisors_of(m, (64, 128, 256))),
+            Axis("block_n", (64, 128, 256)),
+            Axis("block_k", (32, 64, 128)),
+            Axis("block_mp", divisors_of(per_rank, (64, 128, 256, 512))),
+            Axis("comm_blocks", (4, 8, 16, 20, 32, 48)),
+            Axis("mode", ("dma", "pull", "push")),
+        )
+    else:
+        raise RuntimeLaunchError(f"unknown AG+GEMM space preset {preset!r}")
+
+    def valid(cand: dict) -> bool:
+        if cand["mode"] == "dma":
+            return cand["comm_blocks"] == _DMA_CANONICAL_COMM_BLOCKS
+        return True
+
+    return SearchSpace(axes=axes, constraint=valid)
+
+
+register_space("ag_gemm", ag_gemm_search_space)
+
+
+def ag_gemm_tune_task(m: int, n: int, k: int, *, world: int = 8,
+                      spec: HardwareSpec = H800,
+                      space: SearchSpace | None = None,
+                      preset: str = "small"):
+    """Build the :class:`~repro.tuner.TuneTask` tuning AG+GEMM on a shape."""
+    from repro.tuner.search import TuneTask
+
+    space = space or ag_gemm_search_space(m, n, k, world, preset=preset)
+
+    def make_builder(cand: dict, scale: float = 1.0):
+        align = world * max(int(cand["block_mp"]), int(cand["block_m"]))
+        m_s = m if scale >= 1.0 else max(align, int(m * scale) // align * align)
+        cfg = AgGemmConfig(m=m_s, n=n, k=k, **cand)
+
+        def build(ctx: DistContext) -> None:
+            ctx.alloc("x", (m_s // world, k), "float16", fill=None)
+            ctx.alloc("w", (k, n), "float16", fill=None)
+            ctx.alloc("y", (m_s, n), "float16", fill=None)
+            ag_gemm_overlapped(ctx, cfg, "x", "w", "y")
+
+        return build
+
+    return TuneTask(
+        kernel="ag_gemm",
+        shape_key=f"m{m}n{n}k{k}",
+        space=space,
+        default=AgGemmConfig(m=m, n=n, k=k).tune_candidate(),
+        make_builder=make_builder,
+        bound=lambda c: ag_gemm_lower_bound(c, m=m, n=n, k=k, world=world,
+                                            spec=spec),
+        finalize=lambda c: AgGemmConfig(m=m, n=n, k=k, **c),
+    )
 
 
 def ag_gemm_overlapped(
@@ -159,6 +280,16 @@ def ag_gemm_overlapped(
     """
     machine = ctx.machine
     world = machine.world_size
+    if cfg.mode == "auto":
+        # Resolve through the tuner (persistent default cache makes this a
+        # one-time cost per shape/spec/world); candidates all carry
+        # concrete modes, so the nested launches cannot recurse.
+        from repro.tuner.cache import TuneCache
+
+        tuned = AgGemmConfig.autotune(cfg.m, cfg.n, cfg.k, world=world,
+                                      spec=machine.config.spec,
+                                      cache=TuneCache())
+        cfg = replace(tuned, channels_per_rank=cfg.channels_per_rank)
     cfg.validate(world)
     spec = machine.config.spec
     grid = grid or spec.n_sms

@@ -22,7 +22,8 @@ subspace).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
 from repro.compiler.program import CompileOptions
 from repro.errors import RuntimeLaunchError, ShapeError
@@ -30,9 +31,16 @@ from repro.lang import tl
 from repro.lang.dsl import kernel
 from repro.mapping.layout import TileGrid
 from repro.mapping.static import AffineTileMapping
+from repro.config import H800, HardwareSpec
 from repro.runtime.context import DistContext
 from repro.runtime.launcher import launch_spmd
 from repro.sim.engine import Process, ProcessGen
+from repro.tuner.costprune import gemm_rs_lower_bound
+from repro.tuner.space import Axis, SearchSpace, divisors_of, register_space
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.tuner.cache import TuneCache
+    from repro.tuner.search import TuneResult
 
 
 @kernel
@@ -182,7 +190,7 @@ class GemmRsConfig:
     block_nr: int = 256   # comm tile cols
     comm_blocks: int = 20
     channels_per_rank: int = 1
-    mode: str = "hybrid"  # ring | hybrid
+    mode: str = "hybrid"  # ring | hybrid | auto (resolved by the tuner)
 
     def validate(self, world: int) -> None:
         if self.m % world != 0:
@@ -190,8 +198,121 @@ class GemmRsConfig:
         m_per = self.m // world
         if m_per % self.block_m != 0 or m_per % self.block_mr != 0:
             raise ShapeError("per-rank rows must align to both tile sizes")
-        if self.mode not in ("ring", "hybrid"):
+        if self.mode not in ("ring", "hybrid", "auto"):
             raise RuntimeLaunchError(f"unknown GEMM+RS mode {self.mode!r}")
+
+    def tune_candidate(self) -> dict:
+        """This config as a tuner candidate dict (the searched axes)."""
+        return dict(block_m=self.block_m, block_n=self.block_n,
+                    block_k=self.block_k, block_mr=self.block_mr,
+                    block_nr=self.block_nr, comm_blocks=self.comm_blocks,
+                    mode=self.mode)
+
+    @classmethod
+    def autotune(cls, m: int, n: int, k: int, *, world: int = 8,
+                 spec: HardwareSpec = H800, strategy: str = "exhaustive",
+                 cache: "TuneCache | None" = None, preset: str = "small",
+                 space: SearchSpace | None = None,
+                 max_trials: int | None = None, seed: int = 0,
+                 slack: float = 0.0,
+                 full_result: bool = False) -> "GemmRsConfig | TuneResult":
+        """Search the decoupled design space for this shape; return the
+        winning config (or the full :class:`~repro.tuner.TuneResult` when
+        ``full_result`` is set)."""
+        from repro.tuner.search import tune
+
+        task = gemm_rs_tune_task(m, n, k, world=world, spec=spec,
+                                 space=space, preset=preset)
+        result = tune(task, world=world, spec=spec, strategy=strategy,
+                      cache=cache, max_trials=max_trials, seed=seed,
+                      slack=slack)
+        return result if full_result else result.best_config
+
+
+# ---------------------------------------------------------------------------
+# Tuner integration: the GEMM+RS slice of the decoupled design space
+# ---------------------------------------------------------------------------
+
+#: hybrid (copy-engine scatter) ignores ``comm_blocks``; canonicalise it.
+_HYBRID_CANONICAL_COMM_BLOCKS = 20
+
+
+def gemm_rs_search_space(m: int, n: int, k: int, world: int,
+                         preset: str = "default") -> SearchSpace:
+    """The §3.1 design space of GEMM+RS for one shape.
+
+    Decoupled compute tile (``block_m/n/k``) and reduction/communication
+    tile (``block_mr/nr``); ``mode`` picks the resource mapping — ``ring``
+    reduces on ``comm_blocks`` SMs, ``hybrid`` scatters on the copy
+    engine and reduces on all SMs.
+    """
+    per_rank = m // world
+    if preset == "small":
+        axes = (
+            Axis("block_m", divisors_of(per_rank, (128, 256))),
+            Axis("block_n", (128,)),
+            Axis("block_k", (64,)),
+            Axis("block_mr", divisors_of(per_rank, (128, 256))),
+            Axis("block_nr", (256,)),
+            Axis("comm_blocks", (4, 20, 40)),
+            Axis("mode", ("hybrid", "ring")),
+        )
+    elif preset == "default":
+        axes = (
+            Axis("block_m", divisors_of(per_rank, (64, 128, 256))),
+            Axis("block_n", (64, 128, 256)),
+            Axis("block_k", (32, 64, 128)),
+            Axis("block_mr", divisors_of(per_rank, (64, 128, 256, 512))),
+            Axis("block_nr", (128, 256, 512)),
+            Axis("comm_blocks", (4, 8, 16, 20, 32, 48)),
+            Axis("mode", ("hybrid", "ring")),
+        )
+    else:
+        raise RuntimeLaunchError(f"unknown GEMM+RS space preset {preset!r}")
+
+    def valid(cand: dict) -> bool:
+        if cand["mode"] == "hybrid":
+            return cand["comm_blocks"] == _HYBRID_CANONICAL_COMM_BLOCKS
+        return True
+
+    return SearchSpace(axes=axes, constraint=valid)
+
+
+register_space("gemm_rs", gemm_rs_search_space)
+
+
+def gemm_rs_tune_task(m: int, n: int, k: int, *, world: int = 8,
+                      spec: HardwareSpec = H800,
+                      space: SearchSpace | None = None,
+                      preset: str = "small"):
+    """Build the :class:`~repro.tuner.TuneTask` tuning GEMM+RS on a shape."""
+    from repro.tuner.search import TuneTask
+
+    space = space or gemm_rs_search_space(m, n, k, world, preset=preset)
+
+    def make_builder(cand: dict, scale: float = 1.0):
+        align = world * max(int(cand["block_m"]), int(cand["block_mr"]))
+        m_s = m if scale >= 1.0 else max(align, int(m * scale) // align * align)
+        cfg = GemmRsConfig(m=m_s, n=n, k=k, **cand)
+
+        def build(ctx: DistContext) -> None:
+            ctx.alloc("x", (m_s, k), "float16", fill=None)
+            ctx.alloc("w", (k, n), "float16", fill=None)
+            ctx.alloc("y", (m_s // world, n), "float32", fill=None)
+            gemm_rs_overlapped(ctx, cfg, "x", "w", "y")
+
+        return build
+
+    return TuneTask(
+        kernel="gemm_rs",
+        shape_key=f"m{m}n{n}k{k}",
+        space=space,
+        default=GemmRsConfig(m=m, n=n, k=k).tune_candidate(),
+        make_builder=make_builder,
+        bound=lambda c: gemm_rs_lower_bound(c, m=m, n=n, k=k, world=world,
+                                            spec=spec),
+        finalize=lambda c: GemmRsConfig(m=m, n=n, k=k, **c),
+    )
 
 
 def gemm_rs_overlapped(
@@ -207,6 +328,13 @@ def gemm_rs_overlapped(
     """Launch overlapped GEMM+RS; ``out`` receives (m/world x n) sums."""
     machine = ctx.machine
     world = machine.world_size
+    if cfg.mode == "auto":
+        from repro.tuner.cache import TuneCache
+
+        tuned = GemmRsConfig.autotune(cfg.m, cfg.n, cfg.k, world=world,
+                                      spec=machine.config.spec,
+                                      cache=TuneCache())
+        cfg = replace(tuned, channels_per_rank=cfg.channels_per_rank)
     cfg.validate(world)
     grid = grid or machine.config.spec.n_sms
     m_per = cfg.m // world

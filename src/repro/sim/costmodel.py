@@ -100,11 +100,13 @@ class CostModel:
 
     def gemm_time_monolithic(self, m: int, n: int, k: int, dtype_bytes: int = 2,
                              n_sms: int | None = None,
-                             bm: int = 128, bn: int = 128) -> float:
+                             bm: int = 128, bn: int = 128,
+                             bk: int = 64) -> float:
         """Analytic makespan of a dense GEMM using ``n_sms`` SMs.
 
-        Used by closed-form baselines (cuBLAS-style); the fused kernels get
-        the same number from the DES by actually scheduling tiles.
+        Used by closed-form baselines (cuBLAS-style) and as the tuner
+        pruner's compute floor; the fused kernels get the same number from
+        the DES by actually scheduling tiles.
         """
         sms = n_sms if n_sms is not None else self.spec.n_sms
         if sms <= 0:
@@ -113,7 +115,7 @@ class CostModel:
         tiles_n = math.ceil(n / bn)
         n_tiles = tiles_m * tiles_n
         waves = math.ceil(n_tiles / sms)
-        cost = self.gemm_tile_time(bm, bn, k, dtype_bytes=dtype_bytes)
+        cost = self.gemm_tile_time(bm, bn, k, bk=bk, dtype_bytes=dtype_bytes)
         hbm_floor = (n_tiles * cost.epilogue_bytes) / self.hbm_effective_bandwidth
         return max(waves * cost.total, hbm_floor)
 

@@ -1,0 +1,56 @@
+"""``repro.tuner`` — autotuning over the decoupled tile-centric design space.
+
+The paper picks one point per kernel out of its §3.1 design space by hand;
+this subsystem searches the space automatically.  Four stages, one module
+each:
+
+* :mod:`repro.tuner.space` — declarative :class:`SearchSpace` of named
+  axes (tile m/n/k, comm tile, ``comm_blocks``, push/pull/hybrid mode,
+  SM vs. copy-engine transport) plus the per-kernel registry;
+* :mod:`repro.tuner.costprune` — analytic lower bounds from
+  :class:`repro.sim.costmodel.CostModel` + wave-quantization arithmetic
+  that discard dominated candidates before any simulation runs;
+* :mod:`repro.tuner.search` — exhaustive / random / successive-halving
+  strategies executing survivors through
+  :func:`repro.bench.harness.run_builder`;
+* :mod:`repro.tuner.cache` — persistent JSON memo keyed on
+  (kernel, shape, world size, spec fingerprint, space fingerprint).
+
+One-call API::
+
+    from repro.tuner import tune
+    result = tune(task, world=8, spec=H800, cache=TuneCache(path))
+    cfg = result.best_config          # e.g. an AgGemmConfig
+
+or, one level higher, the kernels' classmethods::
+
+    cfg = AgGemmConfig.autotune(m, n, k, world=8, spec=H800)
+"""
+
+from repro.tuner.cache import TuneCache, default_cache_path, make_key
+from repro.tuner.costprune import (
+    PruneResult,
+    ag_gemm_lower_bound,
+    gemm_rs_lower_bound,
+    gemm_wave_time,
+    link_transfer_time,
+    prune,
+)
+from repro.tuner.search import TuneResult, TuneTask, tune
+from repro.tuner.space import (
+    Axis,
+    SearchSpace,
+    TunerError,
+    divisors_of,
+    get_space,
+    register_space,
+    registered_kernels,
+)
+
+__all__ = [
+    "Axis", "PruneResult", "SearchSpace", "TuneCache", "TuneResult",
+    "TuneTask", "TunerError", "ag_gemm_lower_bound", "default_cache_path",
+    "divisors_of", "gemm_rs_lower_bound", "gemm_wave_time", "get_space",
+    "link_transfer_time", "make_key", "prune", "register_space",
+    "registered_kernels", "tune",
+]

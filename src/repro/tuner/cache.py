@@ -1,0 +1,116 @@
+"""Persistent result cache for the tuner (the *cache* stage).
+
+Tuning is deterministic but expensive (each candidate is a full
+discrete-event simulation), so results are memoised on disk: a JSON file
+mapping a cache key to the winning candidate and its simulated time.  The
+key is built from everything that changes the answer —
+
+    kernel name | shape key | world size | HardwareSpec.fingerprint()
+    | SearchSpace.fingerprint() [| search signature]
+
+so retuning happens exactly when the workload, the simulated hardware, or
+the candidate space itself changes.  Restricted searches (random, capped
+``max_trials``) carry a signature suffix so their possibly-weaker winners
+never alias a later full exhaustive search (see ``tune()``).  Repeated bench runs hit the cache and
+skip simulation entirely, which also makes published numbers reproducible:
+the cache file records *which* config produced them.
+
+The default location is ``$REPRO_TUNE_CACHE`` or
+``~/.cache/repro-tilelink/tune_cache.json``; pass an explicit path for
+hermetic runs (tests use ``tmp_path``).  Writes are atomic
+(write-temp-then-rename) and a corrupt/foreign file is treated as empty
+rather than raising.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+_VERSION = 1
+
+#: Environment override for the default on-disk location.
+ENV_CACHE_PATH = "REPRO_TUNE_CACHE"
+
+
+def default_cache_path() -> Path:
+    env = os.environ.get(ENV_CACHE_PATH)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-tilelink" / "tune_cache.json"
+
+
+def make_key(kernel: str, shape_key: str, world: int, spec_fingerprint: str,
+             space_fingerprint: str) -> str:
+    return "|".join([kernel, shape_key, f"w{world}", spec_fingerprint,
+                     space_fingerprint])
+
+
+class TuneCache:
+    """Dict-like persistent store of tuning results.
+
+    Entries are plain JSON objects ``{"best": candidate, "time_s": float,
+    "meta": {...}}``.  The file is re-read lazily on first access and
+    rewritten atomically on every :meth:`put` (tuning writes are rare and
+    small; durability beats batching here).
+    """
+
+    def __init__(self, path: str | os.PathLike | None = None):
+        self.path = Path(path) if path is not None else default_cache_path()
+        self._entries: dict[str, dict] | None = None
+
+    # -- storage ------------------------------------------------------------
+
+    def _load(self) -> dict[str, dict]:
+        if self._entries is None:
+            self._entries = {}
+            try:
+                raw = json.loads(self.path.read_text())
+                if isinstance(raw, dict) and raw.get("version") == _VERSION:
+                    entries = raw.get("entries", {})
+                    if isinstance(entries, dict):
+                        self._entries = entries
+            except (OSError, ValueError):
+                pass  # missing or corrupt cache == empty cache
+        return self._entries
+
+    def _flush(self) -> None:
+        payload = {"version": _VERSION, "entries": self._load()}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=str(self.path.parent),
+                                   prefix=self.path.name, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh, indent=1, sort_keys=True)
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- dict-ish API -------------------------------------------------------
+
+    def get(self, key: str) -> dict | None:
+        entry = self._load().get(key)
+        return dict(entry) if entry is not None else None
+
+    def put(self, key: str, best: dict, time_s: float,
+            meta: dict[str, Any] | None = None) -> None:
+        self._load()[key] = {"best": dict(best), "time_s": float(time_s),
+                             "meta": dict(meta or {})}
+        self._flush()
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._load()
+
+    def __len__(self) -> int:
+        return len(self._load())
+
+    def clear(self) -> None:
+        self._entries = {}
+        self._flush()

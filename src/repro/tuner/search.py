@@ -1,0 +1,189 @@
+"""Search strategies over the pruned candidate set (the *search* stage).
+
+The pipeline a :func:`tune` call runs:
+
+1. **cache probe** — return immediately on a hit (no simulation at all);
+2. **incumbent seed** — simulate the task's hand-picked default config
+   once; its time is the bar every candidate must beat;
+3. **prune** — :func:`repro.tuner.costprune.prune` discards every
+   candidate whose analytic lower bound already exceeds the incumbent;
+4. **search** — simulate survivors through
+   :func:`repro.bench.harness.run_builder` under one of three strategies:
+
+   * ``"exhaustive"`` — every survivor, in ascending-bound order, with
+     *dynamic* re-pruning: as the incumbent drops, later candidates whose
+     bound now exceeds it are skipped without simulating;
+   * ``"random"`` — a seeded random subset of at most ``max_trials``
+     survivors (same dynamic re-pruning);
+   * ``"halving"`` — successive halving: every survivor is first simulated
+     on a *scaled-down* problem (rows shrunk by ``scale``), only the top
+     ``1/eta`` fraction graduates to a full-size simulation;
+
+5. **cache write** — persist the winner keyed on (kernel, shape, world,
+   spec fingerprint, space fingerprint).
+
+The default config is always simulated at full size and included in the
+final ranking, so ``best_time <= default_time`` holds by construction —
+tuning can only match or improve on the hand-picked point.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.config import H800, HardwareSpec
+from repro.tuner import cache as cache_mod
+from repro.tuner.costprune import PruneResult, prune
+from repro.tuner.space import Candidate, SearchSpace, TunerError
+
+#: builder(ctx) callable accepted by repro.bench.harness.run_builder.
+Builder = Callable[[Any], None]
+
+
+@dataclass(frozen=True)
+class TuneTask:
+    """Everything the searcher needs to tune one kernel on one shape.
+
+    Kernel modules construct these next to their config dataclasses (see
+    ``AgGemmConfig.autotune``).  ``make_builder(candidate, scale)`` must
+    return a fresh-context builder for the candidate with the problem's
+    row dimension shrunk by ``scale`` (``1.0`` = full size; used by the
+    halving strategy's cheap low-fidelity rungs).  ``bound(candidate)`` is
+    the analytic lower bound the pruner uses; ``finalize(candidate)``
+    converts the winning dict into the kernel's config object.
+    """
+
+    kernel: str
+    shape_key: str
+    space: SearchSpace
+    default: Candidate
+    make_builder: Callable[[Candidate, float], Builder]
+    bound: Callable[[Candidate], float]
+    finalize: Callable[[Candidate], Any] = field(default=lambda c: dict(c))
+
+
+@dataclass
+class TuneResult:
+    """Outcome of one :func:`tune` call (also what the cache reconstructs)."""
+
+    best: Candidate
+    best_time: float
+    best_config: Any
+    default_time: float | None
+    n_candidates: int
+    n_pruned: int           # discarded by the analytic pre-filter
+    n_pruned_dynamic: int   # skipped later as the incumbent improved
+    n_simulated: int        # full discrete-event simulations actually run
+    from_cache: bool
+    strategy: str
+    trials: list[tuple[Candidate, float]] = field(default_factory=list)
+
+    @property
+    def prune_fraction(self) -> float:
+        return self.n_pruned / self.n_candidates if self.n_candidates else 0.0
+
+
+def _simulate(task: TuneTask, cand: Candidate, scale: float, *,
+              world: int, spec: HardwareSpec) -> float:
+    # Imported lazily: repro.bench pulls in the kernel zoo, which itself
+    # imports the tuner to register search spaces.
+    from repro.bench.harness import run_builder
+
+    return run_builder(task.make_builder(cand, scale), world=world, spec=spec)
+
+
+def tune(task: TuneTask, *, world: int = 8, spec: HardwareSpec = H800,
+         strategy: str = "exhaustive", cache: cache_mod.TuneCache | None = None,
+         max_trials: int | None = None, seed: int = 0, slack: float = 0.0,
+         halving_scale: float = 0.25, halving_eta: int = 2) -> TuneResult:
+    """Autotune ``task`` and return the best configuration found.
+
+    This is the subsystem's one-call API: prune with the cost model,
+    search the survivors through the simulator, memoise the winner.
+    """
+    if strategy not in ("exhaustive", "random", "halving"):
+        raise TunerError(f"unknown search strategy {strategy!r}")
+
+    # The search signature is part of the key: a capped/random search must
+    # not alias a later, stronger search on the same shape/spec/space.
+    # The canonical full search keeps a bare key so bench reruns and
+    # ``mode="auto"`` all share one entry.
+    sig = "" if (strategy == "exhaustive" and max_trials is None) else \
+        f"|{strategy}-mt{max_trials}-s{seed}"
+    key = cache_mod.make_key(task.kernel, task.shape_key, world,
+                             spec.fingerprint(),
+                             task.space.fingerprint()) + sig
+    if cache is not None:
+        hit = cache.get(key)
+        if hit is not None:
+            best = dict(hit["best"])
+            return TuneResult(
+                best=best, best_time=float(hit["time_s"]),
+                best_config=task.finalize(best),
+                default_time=hit.get("meta", {}).get("default_time"),
+                n_candidates=int(hit.get("meta", {}).get("n_candidates", 0)),
+                n_pruned=int(hit.get("meta", {}).get("n_pruned", 0)),
+                n_pruned_dynamic=0, n_simulated=0, from_cache=True,
+                strategy=str(hit.get("meta", {}).get("strategy", strategy)))
+
+    candidates = list(task.space.candidates())
+    if not candidates:
+        raise TunerError(f"search space for {task.kernel!r} is empty")
+
+    # -- incumbent seed: the hand-picked default --------------------------
+    default_time = _simulate(task, task.default, 1.0, world=world, spec=spec)
+    n_simulated = 1
+    trials: list[tuple[Candidate, float]] = [(dict(task.default), default_time)]
+    incumbent = default_time
+
+    # -- static prune against the incumbent -------------------------------
+    others = [c for c in candidates if c != task.default]
+    pruned: PruneResult = prune(others, task.bound, incumbent, slack=slack)
+
+    # -- pick the trial list per strategy ----------------------------------
+    survivors = list(pruned.survivors)
+    if strategy == "random":
+        rng = random.Random(seed)
+        rng.shuffle(survivors)
+        survivors = survivors[:max_trials if max_trials is not None else len(survivors)]
+    elif strategy == "exhaustive" and max_trials is not None:
+        survivors = survivors[:max_trials]
+    elif strategy == "halving" and len(survivors) > 1:
+        if max_trials is not None:
+            survivors = survivors[:max_trials]   # cap the rung, bound order
+        scored = [(c, _simulate(task, c, halving_scale, world=world,
+                                spec=spec)) for c in survivors]
+        n_simulated += len(scored)
+        scored.sort(key=lambda ct: ct[1])
+        keep = max(1, math.ceil(len(scored) / max(2, halving_eta)))
+        survivors = [c for c, _ in scored[:keep]]
+
+    # -- full-fidelity pass with dynamic re-pruning ------------------------
+    n_dynamic = 0
+    for cand in survivors:
+        if task.bound(cand) > incumbent * (1.0 + slack):
+            n_dynamic += 1
+            continue
+        t = _simulate(task, cand, 1.0, world=world, spec=spec)
+        n_simulated += 1
+        trials.append((dict(cand), t))
+        incumbent = min(incumbent, t)
+
+    best, best_time = min(trials, key=lambda ct: ct[1])
+    result = TuneResult(
+        best=best, best_time=best_time, best_config=task.finalize(best),
+        default_time=default_time, n_candidates=len(candidates),
+        n_pruned=pruned.n_pruned, n_pruned_dynamic=n_dynamic,
+        n_simulated=n_simulated, from_cache=False, strategy=strategy,
+        trials=trials)
+
+    if cache is not None:
+        cache.put(key, best, best_time, meta={
+            "default_time": default_time, "n_candidates": len(candidates),
+            "n_pruned": pruned.n_pruned, "strategy": strategy,
+            "kernel": task.kernel, "shape": task.shape_key, "world": world,
+        })
+    return result

@@ -33,6 +33,18 @@ def test_spec_scaled_copies():
     assert A100.n_sms == 108
 
 
+def test_spec_fingerprint_is_stable_and_field_sensitive():
+    from dataclasses import replace
+
+    # stable across instances with identical fields
+    assert H800.fingerprint() == HardwareSpec().fingerprint()
+    assert len(H800.fingerprint()) == 16
+    # any field change (the tuner-cache invalidation contract) changes it
+    assert replace(H800, n_sms=64).fingerprint() != H800.fingerprint()
+    assert H800.scaled(nvlink_egress=900e9).fingerprint() != H800.fingerprint()
+    assert A100.fingerprint() != H800.fingerprint()
+
+
 def test_simconfig_validation():
     with pytest.raises(ValueError):
         SimConfig(world_size=0)

@@ -1,0 +1,87 @@
+"""Unit tests for the cost model's tile pricing.
+
+The tuner's pruner (repro.tuner.costprune) trusts three properties of
+:class:`CostModel`: tile costs are positive, they grow monotonically with
+tile size, and the wave-quantization arithmetic matches the closed-form
+``ceil(tiles / sms)`` by hand.  Pin all three.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.config import H800
+from repro.sim.costmodel import CostModel
+
+
+@pytest.fixture
+def model() -> CostModel:
+    return CostModel(H800)
+
+
+def test_gemm_tile_cost_components_positive(model):
+    for bm, bn, k in [(64, 64, 512), (128, 128, 4096), (256, 128, 1024)]:
+        cost = model.gemm_tile_time(bm, bn, k)
+        assert cost.compute > 0
+        assert cost.prologue > 0
+        assert cost.epilogue_bytes > 0
+        assert cost.total == cost.compute + cost.prologue
+
+
+def test_gemm_tile_cost_rejects_degenerate_dims(model):
+    with pytest.raises(ValueError):
+        model.gemm_tile_time(0, 128, 1024)
+    with pytest.raises(ValueError):
+        model.gemm_tile_time(128, 128, -1)
+
+
+def test_gemm_tile_cost_monotone_in_tile_size(model):
+    """A bigger output tile can only cost more (work grows faster than
+    the efficiency gain), and moves strictly more epilogue bytes."""
+    k = 2048
+    sizes = [(32, 32), (64, 64), (128, 128), (256, 256), (512, 512)]
+    costs = [model.gemm_tile_time(bm, bn, k) for bm, bn in sizes]
+    for small, big in zip(costs, costs[1:]):
+        assert big.compute > small.compute
+        assert big.epilogue_bytes > small.epilogue_bytes
+        assert big.total > small.total
+
+
+def test_gemm_tile_cost_monotone_in_depth(model):
+    k_costs = [model.gemm_tile_time(128, 128, k).compute
+               for k in (256, 1024, 4096)]
+    assert k_costs[0] < k_costs[1] < k_costs[2]
+
+
+def test_tile_efficiency_bounds(model):
+    assert model.tile_efficiency(128, 128, 64) == pytest.approx(1.0)
+    tiny = model.tile_efficiency(8, 8, 8)
+    assert model.MIN_TILE_EFFICIENCY <= tiny < 0.5
+
+
+def test_wave_quantization_matches_hand_computed_example(model):
+    """m=1024, n=512, 128x128 tiles -> 8*4 = 32 tiles.  On 5 SMs that is
+    ceil(32/5) = 7 waves; the makespan is the max of 7 tile-times and the
+    HBM epilogue floor (here compute-bound, so exactly 7 * tile.total)."""
+    m, n, k = 1024, 512, 2048
+    cost = model.gemm_tile_time(128, 128, k)
+    n_tiles = (m // 128) * (n // 128)
+    assert n_tiles == 32
+    waves = math.ceil(n_tiles / 5)
+    assert waves == 7
+    hbm_floor = n_tiles * cost.epilogue_bytes / model.hbm_effective_bandwidth
+    expected = max(waves * cost.total, hbm_floor)
+    assert waves * cost.total > hbm_floor          # compute-bound example
+    assert model.gemm_time_monolithic(m, n, k, n_sms=5) == pytest.approx(
+        expected)
+
+
+def test_wave_quantization_cliff(model):
+    """33 tiles on 32 SMs takes two waves — one extra tile doubles the
+    makespan (the paper's resource-quantization phenomenon)."""
+    k = 2048
+    t_one_wave = model.gemm_time_monolithic(1024, 512, k, n_sms=32)
+    t_two_waves = model.gemm_time_monolithic(1024 + 128, 512, k, n_sms=32)
+    assert t_two_waves == pytest.approx(2 * t_one_wave)

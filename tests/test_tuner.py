@@ -1,0 +1,311 @@
+"""Tests for the repro.tuner subsystem (space / prune / search / cache).
+
+Includes the PR's acceptance scenario: on the Figure-8 MLP-1 AG+GEMM
+shape, ``tune()`` returns a config no slower than the hand-picked
+``AgGemmConfig`` default, the cost-model pruner discards at least half of
+the candidate space before any simulation, and a second call is served
+from the persistent cache without re-simulating.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.config import H800
+from repro.kernels.ag_gemm import (
+    AgGemmConfig,
+    ag_gemm_overlapped,
+    ag_gemm_search_space,
+    ag_gemm_tune_task,
+)
+from repro.kernels.gemm_rs import GemmRsConfig, gemm_rs_tune_task
+from repro.models.configs import MLP_BENCHES
+from repro.tuner import (
+    Axis,
+    SearchSpace,
+    TuneCache,
+    TunerError,
+    divisors_of,
+    get_space,
+    prune,
+    registered_kernels,
+    tune,
+)
+
+# small shape used by most search tests (fast per-candidate simulation)
+SMALL = dict(m=512, n=256, k=256)
+SMALL_WORLD = 4
+
+
+def small_task(**kw):
+    return ag_gemm_tune_task(SMALL["m"], SMALL["n"], SMALL["k"],
+                             world=SMALL_WORLD, **kw)
+
+
+# ---------------------------------------------------------------------------
+# space
+# ---------------------------------------------------------------------------
+
+def test_axis_validation():
+    with pytest.raises(TunerError):
+        Axis("empty", ())
+    with pytest.raises(TunerError):
+        Axis("dup", (1, 1))
+
+
+def test_space_product_and_constraint():
+    space = SearchSpace(
+        axes=(Axis("a", (1, 2)), Axis("b", ("x", "y", "z"))),
+        constraint=lambda c: not (c["a"] == 2 and c["b"] == "z"))
+    cands = list(space.candidates())
+    assert len(space) == 5 == len(cands)
+    assert {"a": 1, "b": "x"} in cands
+    assert {"a": 2, "b": "z"} not in cands
+
+
+def test_space_duplicate_axis_names_rejected():
+    with pytest.raises(TunerError):
+        SearchSpace(axes=(Axis("a", (1,)), Axis("a", (2,))))
+
+
+def test_space_fingerprint_tracks_axes():
+    s1 = SearchSpace(axes=(Axis("a", (1, 2)),))
+    s2 = SearchSpace(axes=(Axis("a", (1, 3)),))
+    s3 = SearchSpace(axes=(Axis("b", (1, 2)),))
+    assert s1.fingerprint() == SearchSpace(axes=(Axis("a", (1, 2)),)).fingerprint()
+    assert len({s1.fingerprint(), s2.fingerprint(), s3.fingerprint()}) == 3
+
+
+def test_divisors_of():
+    assert divisors_of(1024, (64, 128, 300)) == (64, 128)
+    with pytest.raises(TunerError):
+        divisors_of(100, (33,))
+
+
+def test_kernel_registry():
+    assert {"ag_gemm", "gemm_rs"} <= set(registered_kernels())
+    space = get_space("ag_gemm")(8192, 1376, 4096, 8, preset="small")
+    assert set(space.axis_names) == {"block_m", "block_n", "block_k",
+                                     "block_mp", "comm_blocks", "mode"}
+    # dma ignores comm_blocks: exactly one canonical value survives
+    dma = [c for c in space.candidates() if c["mode"] == "dma"]
+    assert len({c["comm_blocks"] for c in dma}) == 1
+    with pytest.raises(TunerError):
+        get_space("nonexistent_kernel")
+
+
+def test_default_config_is_in_its_space():
+    for task in (small_task(),
+                 gemm_rs_tune_task(1024, 512, 512, world=4)):
+        assert task.default in list(task.space.candidates())
+
+
+# ---------------------------------------------------------------------------
+# costprune
+# ---------------------------------------------------------------------------
+
+def test_prune_static_filter_and_ordering():
+    cands = [{"v": v} for v in (5, 1, 9, 3, 7)]
+    res = prune(cands, lambda c: float(c["v"]), incumbent=5.0)
+    assert res.n_total == 5
+    assert res.n_pruned == 2                     # 9 and 7 exceed 5
+    assert [c["v"] for c in res.survivors] == [1, 3, 5]
+    assert res.bounds == (1.0, 3.0, 5.0)
+    assert res.prune_fraction == pytest.approx(0.4)
+
+
+def test_prune_slack_keeps_near_ties():
+    cands = [{"v": v} for v in (10, 11, 20)]
+    res = prune(cands, lambda c: float(c["v"]), incumbent=10.0, slack=0.15)
+    assert [c["v"] for c in res.survivors] == [10, 11]
+    with pytest.raises(ValueError):
+        prune(cands, lambda c: 1.0, incumbent=0.0)
+
+
+def test_bound_is_a_lower_bound_on_simulated_time():
+    """The pruner is only sound if bound(c) <= simulated(c)."""
+    from repro.bench.harness import run_builder
+
+    task = small_task()
+    for cand in [task.default,
+                 dict(task.default, mode="pull", comm_blocks=8),
+                 dict(task.default, block_m=256, mode="push",
+                      comm_blocks=4)]:
+        simulated = run_builder(task.make_builder(cand, 1.0),
+                                world=SMALL_WORLD)
+        assert task.bound(cand) <= simulated
+
+
+# ---------------------------------------------------------------------------
+# search strategies
+# ---------------------------------------------------------------------------
+
+def test_tune_exhaustive_beats_or_ties_default():
+    res = tune(small_task(), world=SMALL_WORLD)
+    assert res.best_time <= res.default_time
+    assert res.n_simulated <= res.n_candidates
+    assert not res.from_cache
+    assert res.trials and res.trials[0][0] == small_task().default
+    assert isinstance(res.best_config, AgGemmConfig)
+    res.best_config.validate(SMALL_WORLD)
+
+
+def test_tune_random_is_seeded_and_bounded():
+    r1 = tune(small_task(), world=SMALL_WORLD, strategy="random",
+              max_trials=3, seed=7)
+    r2 = tune(small_task(), world=SMALL_WORLD, strategy="random",
+              max_trials=3, seed=7)
+    assert r1.n_simulated <= 4                    # default + 3 trials
+    assert r1.best == r2.best
+    assert r1.best_time == pytest.approx(r2.best_time)
+    assert r1.best_time <= r1.default_time
+
+
+def test_tune_halving_runs_low_fidelity_rungs():
+    space = SearchSpace(
+        axes=(Axis("block_m", (128,)), Axis("block_n", (128,)),
+              Axis("block_k", (64,)), Axis("block_mp", (128, 256)),
+              Axis("comm_blocks", (4, 8, 20)),
+              Axis("mode", ("dma", "pull", "push"))),
+        constraint=lambda c: c["mode"] != "dma" or c["comm_blocks"] == 20)
+    task = ag_gemm_tune_task(2048, 256, 256, world=SMALL_WORLD, space=space)
+    res = tune(task, world=SMALL_WORLD, strategy="halving",
+               halving_scale=0.25, halving_eta=2)
+    assert res.best_time <= res.default_time
+    # every survivor got a scaled rung plus >= 1 full-fidelity finalist
+    assert res.n_simulated > len(res.trials)
+
+
+def test_tune_rejects_unknown_strategy():
+    with pytest.raises(TunerError):
+        tune(small_task(), world=SMALL_WORLD, strategy="simulated-annealing")
+
+
+def test_gemm_rs_autotune_small_shape():
+    res = GemmRsConfig.autotune(1024, 512, 512, world=4, max_trials=3,
+                                full_result=True)
+    assert res.best_time <= res.default_time
+    cfg = res.best_config
+    assert isinstance(cfg, GemmRsConfig)
+    cfg.validate(4)
+
+
+# ---------------------------------------------------------------------------
+# cache
+# ---------------------------------------------------------------------------
+
+def test_cache_roundtrip_and_corruption_tolerance(tmp_path):
+    path = tmp_path / "cache.json"
+    cache = TuneCache(path)
+    assert cache.get("k") is None and len(cache) == 0
+    cache.put("k", {"block_m": 128}, 1.5e-4, meta={"strategy": "exhaustive"})
+    fresh = TuneCache(path)
+    assert "k" in fresh
+    entry = fresh.get("k")
+    assert entry["best"] == {"block_m": 128}
+    assert entry["time_s"] == pytest.approx(1.5e-4)
+    # corrupt file reads as empty, not an exception
+    path.write_text("{not json")
+    assert TuneCache(path).get("k") is None
+    # on-disk format is plain versioned JSON
+    cache2 = TuneCache(tmp_path / "c2.json")
+    cache2.put("a", {"x": 1}, 2.0)
+    raw = json.loads((tmp_path / "c2.json").read_text())
+    assert raw["version"] == 1 and "a" in raw["entries"]
+
+
+def test_tune_cache_hit_skips_simulation(tmp_path):
+    cache = TuneCache(tmp_path / "cache.json")
+    first = tune(small_task(), world=SMALL_WORLD, cache=cache)
+    assert not first.from_cache and first.n_simulated > 0
+    second = tune(small_task(), world=SMALL_WORLD, cache=cache)
+    assert second.from_cache
+    assert second.n_simulated == 0
+    assert second.best == first.best
+    assert second.best_time == pytest.approx(first.best_time)
+    assert isinstance(second.best_config, AgGemmConfig)
+
+
+def test_capped_search_does_not_alias_full_search(tmp_path):
+    """A weak (random/capped) search's winner must not be served to a
+    later full exhaustive request on the same shape/spec/space."""
+    cache = TuneCache(tmp_path / "cache.json")
+    weak = tune(small_task(), world=SMALL_WORLD, strategy="random",
+                max_trials=1, seed=3, cache=cache)
+    full = tune(small_task(), world=SMALL_WORLD, cache=cache)
+    assert not full.from_cache                    # really searched
+    assert full.best_time <= weak.best_time
+    # but an identical capped request does hit its own entry
+    weak2 = tune(small_task(), world=SMALL_WORLD, strategy="random",
+                 max_trials=1, seed=3, cache=cache)
+    assert weak2.from_cache and weak2.best == weak.best
+
+
+def test_halving_respects_max_trials():
+    task = small_task()
+    res = tune(task, world=SMALL_WORLD, strategy="halving", max_trials=4)
+    # default + <=4 scaled rung sims + <=2 finalists
+    assert res.n_simulated <= 1 + 4 + 2
+    assert res.best_time <= res.default_time
+
+
+def test_cache_key_isolates_spec_and_space(tmp_path):
+    """A different HardwareSpec must not alias a cached result."""
+    cache = TuneCache(tmp_path / "cache.json")
+    tune(small_task(), world=SMALL_WORLD, cache=cache)
+    other_spec = H800.scaled(n_sms=64)
+    res = tune(small_task(spec=other_spec), world=SMALL_WORLD,
+               spec=other_spec, cache=cache)
+    assert not res.from_cache                     # re-tuned, not aliased
+    assert len(cache) == 2
+
+
+# ---------------------------------------------------------------------------
+# acceptance: Figure-8 MLP-1 AG+GEMM
+# ---------------------------------------------------------------------------
+
+def test_acceptance_mlp1_ag_gemm_tune(tmp_path):
+    shape = MLP_BENCHES[0]
+    world = 8
+    m, k = shape.s, shape.h
+    n = shape.i // world
+    cache = TuneCache(tmp_path / "tune.json")
+
+    res = AgGemmConfig.autotune(m, n, k, world=world, cache=cache,
+                                max_trials=6, full_result=True)
+    # tuned config is no slower than the paper's hand-picked default
+    assert res.best_time <= res.default_time
+    # the cost-model pruner discards >= 50% of candidates pre-simulation
+    assert res.prune_fraction >= 0.5
+    assert res.n_simulated < res.n_candidates
+    res.best_config.validate(world)
+
+    # second call: served from the persistent cache, zero simulations
+    res2 = AgGemmConfig.autotune(m, n, k, world=world, cache=cache,
+                                 max_trials=6, full_result=True)
+    assert res2.from_cache and res2.n_simulated == 0
+    assert res2.best == res.best
+
+
+def test_mode_auto_resolves_through_tuner(tmp_path, monkeypatch):
+    """mode='auto' consults the tuner (default cache honours the env
+    override) and launches a concrete tuned config."""
+    from repro.bench.harness import run_builder
+
+    monkeypatch.setenv("REPRO_TUNE_CACHE", str(tmp_path / "auto.json"))
+    m, n, k = SMALL["m"], SMALL["n"], SMALL["k"]
+
+    def build(ctx):
+        ctx.alloc("x", (m // SMALL_WORLD, k), "float16", fill=None)
+        ctx.alloc("w", (k, n), "float16", fill=None)
+        ctx.alloc("y", (m, n), "float16", fill=None)
+        cfg = AgGemmConfig(m=m, n=n, k=k, mode="auto")
+        ag_gemm_overlapped(ctx, cfg, "x", "w", "y")
+
+    t_auto = run_builder(build, world=SMALL_WORLD)
+    t_default = tune(small_task(), world=SMALL_WORLD,
+                     cache=TuneCache(tmp_path / "auto.json")).default_time
+    assert t_auto <= t_default * 1.001
+    assert (tmp_path / "auto.json").exists()      # cache was populated

@@ -1,0 +1,83 @@
+"""Validate the machine-readable bench emitter's JSON schema.
+
+The ``--json PATH`` option of the benchmark suite (see
+``benchmarks/common.py``) dumps every simulated measurement as
+``{"bench": str, "config": str, "time_s": float}`` rows; successive PRs
+diff these files to track a perf trajectory.  This validator is the CI
+tripwire that keeps the contract from rotting: it fails loudly when the
+file is missing, empty, or any row drifts off schema.
+
+Usage:  python benchmarks/validate_bench_json.py PATH [--min-rows N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: the exact per-row schema: field name -> required type(s)
+ROW_SCHEMA = {"bench": str, "config": str, "time_s": (int, float)}
+
+
+def validate_rows(rows: object, min_rows: int = 1) -> list[str]:
+    """Return a list of schema violations (empty == valid)."""
+    errors: list[str] = []
+    if not isinstance(rows, list):
+        return [f"top-level JSON must be a list, got {type(rows).__name__}"]
+    if len(rows) < min_rows:
+        errors.append(f"expected >= {min_rows} measurement rows, "
+                      f"got {len(rows)}")
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict):
+            errors.append(f"row {i}: not an object: {row!r}")
+            continue
+        extra = set(row) - set(ROW_SCHEMA)
+        if extra:
+            errors.append(f"row {i}: unknown fields {sorted(extra)}")
+        for field, types in ROW_SCHEMA.items():
+            if field not in row:
+                errors.append(f"row {i}: missing field {field!r}")
+            elif not isinstance(row[field], types) or \
+                    isinstance(row[field], bool):
+                errors.append(f"row {i}: field {field!r} has wrong type "
+                              f"{type(row[field]).__name__}")
+        if isinstance(row.get("time_s"), (int, float)) and \
+                not isinstance(row.get("time_s"), bool):
+            if not row["time_s"] > 0:
+                errors.append(f"row {i}: time_s must be positive, "
+                              f"got {row['time_s']}")
+        for field in ("bench", "config"):
+            if isinstance(row.get(field), str) and not row[field].strip():
+                errors.append(f"row {i}: field {field!r} is empty")
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("path", help="JSON file emitted by --json")
+    parser.add_argument("--min-rows", type=int, default=1,
+                        help="minimum number of measurement rows")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.path) as fh:
+            rows = json.load(fh)
+    except OSError as exc:
+        print(f"FAIL: cannot read {args.path}: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"FAIL: {args.path} is not valid JSON: {exc}", file=sys.stderr)
+        return 1
+
+    errors = validate_rows(rows, min_rows=args.min_rows)
+    if errors:
+        for err in errors:
+            print(f"FAIL: {err}", file=sys.stderr)
+        return 1
+    print(f"OK: {args.path} — {len(rows)} measurement rows, schema valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""Tune a whole paper shape table in one sweep through one shared cache.
+
+``repro.tuner.sweep`` is the multi-shape companion of
+``examples/autotune_kernel.py``: instead of tuning one kernel on one
+shape, it drives a list of :class:`~repro.tuner.TuneTask` — here the
+first three Table-4 MoE shapes, both MoE kernels each — through a single
+persistent :class:`~repro.tuner.TuneCache`.  Candidate simulation is
+deduplicated across tasks that alias in key space, and a warm rerun of
+the whole sweep performs zero simulations: cache warm-up is paid once per
+table, after which the Figure-9 ``TileLink-tuned`` columns
+(``moe_part1_builders(..., tuned=True)``) resolve instantly.
+
+Run:  python examples/autotune_sweep.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro.bench.experiments import moe_sweep_tasks
+from repro.models.configs import MOE_BENCHES
+from repro.tuner import TuneCache, sweep
+
+WORLD = 8
+SHAPES = MOE_BENCHES[:3]                 # MoE-1..3 (Table 4)
+
+
+def main() -> None:
+    cache_path = Path(tempfile.mkdtemp(prefix="repro-sweep-")) / "cache.json"
+    cache = TuneCache(cache_path)
+    tasks = moe_sweep_tasks(SHAPES, world=WORLD)
+
+    print(f"Sweeping {len(tasks)} tuning tasks over "
+          f"{', '.join(s.name for s in SHAPES)} (world={WORLD}) ...\n")
+    t0 = time.time()
+    report = sweep(tasks, world=WORLD, cache=cache, progress=print)
+    cold_wall = time.time() - t0
+
+    print()
+    print(report.format("Autotune sweep — Table-4 MoE shapes"))
+    print(f"\ncold sweep: {report.n_simulated} simulations, "
+          f"{cold_wall:.1f}s wall (cache: {cache_path})")
+
+    t0 = time.time()
+    warm = sweep(tasks, world=WORLD, cache=cache)
+    print(f"warm rerun: {warm.n_simulated} simulations, "
+          f"{warm.n_from_cache}/{len(warm.entries)} shapes from cache, "
+          f"{time.time() - t0:.2f}s wall")
+    assert warm.n_simulated == 0
+    assert all(e.from_cache for e in warm.entries)
+
+
+if __name__ == "__main__":
+    main()

@@ -6,22 +6,41 @@ Each driver returns plain dicts of simulated times so the benchmark files
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.baselines import decompose, flux, nonoverlap, vllm_moe
 from repro.bench.harness import DEFAULT_WORLD, run_builder, run_builder_traced
-from repro.kernels.ag_gemm import AgGemmConfig, ag_gemm_overlapped
-from repro.kernels.ag_moe import AgMoeConfig, ag_moe_overlapped
-from repro.kernels.attention import AgAttentionConfig, ag_attention_overlapped
-from repro.kernels.gemm_rs import GemmRsConfig, gemm_rs_overlapped
+from repro.config import H800, HardwareSpec
+from repro.kernels.ag_gemm import (
+    AgGemmConfig,
+    ag_gemm_overlapped,
+    ag_gemm_tune_task,
+)
+from repro.kernels.ag_moe import (
+    AgMoeConfig,
+    ag_moe_overlapped,
+    ag_moe_tune_task,
+)
+from repro.kernels.attention import (
+    AgAttentionConfig,
+    ag_attention_overlapped,
+    ag_attention_tune_task,
+)
+from repro.kernels.gemm_rs import (
+    GemmRsConfig,
+    gemm_rs_overlapped,
+    gemm_rs_tune_task,
+)
 from repro.kernels.mlp import MlpConfig, mlp_layer_tilelink
 from repro.kernels.moe_common import build_moe_routing, random_router_logits
 from repro.kernels.moe_layer import MoeConfig, moe_layer_tilelink
-from repro.kernels.moe_rs import MoeRsConfig, moe_rs_overlapped
-from repro.kernels.ring_attention import ring_attention
+from repro.kernels.moe_rs import MoeRsConfig, moe_rs_overlapped, moe_rs_tune_task
+from repro.kernels.ring_attention import ring_attention, ring_attention_tune_task
 from repro.models.configs import AttnShape, MlpShape, MoeShape, ModelConfig
 from repro.ops.attention import flash_attention_op
 from repro.runtime.context import DistContext
+from repro.tuner.cache import TuneCache
+from repro.tuner.search import TuneTask
 
 
 # ---------------------------------------------------------------------------
@@ -42,7 +61,10 @@ def _alloc_rs(ctx: DistContext, m: int, n: int, k: int) -> None:
     ctx.alloc("y", (m // world, n), "float32", fill=None)
 
 
-def ag_gemm_builders(shape: MlpShape, world: int = DEFAULT_WORLD
+def ag_gemm_builders(shape: MlpShape, world: int = DEFAULT_WORLD, *,
+                     tuned: bool = False, tune_cache: TuneCache | None = None,
+                     tune_preset: str = "small",
+                     tune_max_trials: int | None = None,
                      ) -> dict[str, Callable[[DistContext], None]]:
     m, k = shape.s, shape.h
     n = shape.i // world
@@ -64,10 +86,24 @@ def ag_gemm_builders(shape: MlpShape, world: int = DEFAULT_WORLD
         cfg = AgGemmConfig(m=m, n=n, k=k, mode="dma")
         ag_gemm_overlapped(ctx, cfg, "x", "w", "y")
 
-    return {"cuBLAS+NCCL": non, "Async-TP": dec, "FLUX": flx, "TileLink": tl}
+    out = {"cuBLAS+NCCL": non, "Async-TP": dec, "FLUX": flx, "TileLink": tl}
+    if tuned:
+        def tl_tuned(ctx: DistContext) -> None:
+            _alloc_ag(ctx, m, n, k)
+            cfg = AgGemmConfig.autotune(
+                m, n, k, world=ctx.world_size, spec=ctx.machine.config.spec,
+                cache=tune_cache if tune_cache is not None else TuneCache(),
+                preset=tune_preset, max_trials=tune_max_trials)
+            ag_gemm_overlapped(ctx, cfg, "x", "w", "y")
+
+        out["TileLink-tuned"] = tl_tuned
+    return out
 
 
-def gemm_rs_builders(shape: MlpShape, world: int = DEFAULT_WORLD
+def gemm_rs_builders(shape: MlpShape, world: int = DEFAULT_WORLD, *,
+                     tuned: bool = False, tune_cache: TuneCache | None = None,
+                     tune_preset: str = "small",
+                     tune_max_trials: int | None = None,
                      ) -> dict[str, Callable[[DistContext], None]]:
     m, n = shape.s, shape.h
     k = shape.i // world
@@ -89,7 +125,18 @@ def gemm_rs_builders(shape: MlpShape, world: int = DEFAULT_WORLD
         cfg = GemmRsConfig(m=m, n=n, k=k, mode="hybrid")
         gemm_rs_overlapped(ctx, cfg, "x", "w", "y")
 
-    return {"cuBLAS+NCCL": non, "Async-TP": dec, "FLUX": flx, "TileLink": tl}
+    out = {"cuBLAS+NCCL": non, "Async-TP": dec, "FLUX": flx, "TileLink": tl}
+    if tuned:
+        def tl_tuned(ctx: DistContext) -> None:
+            _alloc_rs(ctx, m, n, k)
+            cfg = GemmRsConfig.autotune(
+                m, n, k, world=ctx.world_size, spec=ctx.machine.config.spec,
+                cache=tune_cache if tune_cache is not None else TuneCache(),
+                preset=tune_preset, max_trials=tune_max_trials)
+            gemm_rs_overlapped(ctx, cfg, "x", "w", "y")
+
+        out["TileLink-tuned"] = tl_tuned
+    return out
 
 
 def mlp_builders(shape: MlpShape, world: int = DEFAULT_WORLD
@@ -131,17 +178,19 @@ def run_method_times(builders: dict[str, Callable[[DistContext], None]],
 # Autotuning: tuned config vs the paper's hand-picked config
 # ---------------------------------------------------------------------------
 
-def tuned_vs_paper(shape: MlpShape, kernel: str = "ag_gemm",
+def tuned_vs_paper(shape: MlpShape | MoeShape, kernel: str = "ag_gemm",
                    world: int = DEFAULT_WORLD, *,
                    strategy: str = "exhaustive",
                    max_trials: int | None = None, cache=None,
                    preset: str = "small") -> dict[str, object]:
-    """Autotune one MLP kernel on ``shape``; report both columns.
+    """Autotune one MLP/MoE kernel on ``shape``; report both columns.
 
-    Returns ``paper_time`` (the shipped default config, which seeds the
-    tuner's incumbent), ``tuned_time`` and ``speedup`` alongside the
-    winning candidate and the full :class:`repro.tuner.TuneResult` (prune
-    statistics, trial log, cache provenance).
+    ``shape`` is an :class:`MlpShape` for the dense kernels and a
+    :class:`MoeShape` for the MoE pair.  Returns ``paper_time`` (the
+    shipped default config, which seeds the tuner's incumbent),
+    ``tuned_time`` and ``speedup`` alongside the winning candidate and the
+    full :class:`repro.tuner.TuneResult` (prune statistics, trial log,
+    cache provenance).
     """
     if kernel == "ag_gemm":
         m, k = shape.s, shape.h
@@ -155,6 +204,16 @@ def tuned_vs_paper(shape: MlpShape, kernel: str = "ag_gemm",
             m, n, shape.i // world, world=world, strategy=strategy,
             max_trials=max_trials, cache=cache, preset=preset,
             full_result=True)
+    elif kernel == "ag_moe":
+        res = AgMoeConfig.autotune(
+            shape.s, shape.h, shape.i // world, shape.e, shape.topk,
+            world=world, strategy=strategy, max_trials=max_trials,
+            cache=cache, preset=preset, full_result=True)
+    elif kernel == "moe_rs":
+        res = MoeRsConfig.autotune(
+            shape.s, shape.h, shape.i // world, shape.e, shape.topk,
+            world=world, strategy=strategy, max_trials=max_trials,
+            cache=cache, preset=preset, full_result=True)
     else:
         raise ValueError(f"unknown tunable kernel {kernel!r}")
     return {
@@ -163,6 +222,86 @@ def tuned_vs_paper(shape: MlpShape, kernel: str = "ag_gemm",
                     if res.default_time else float("nan")),
         "config": res.best, "result": res,
     }
+
+
+# ---------------------------------------------------------------------------
+# Sweep task tables: whole paper tables as TuneTask lists
+# ---------------------------------------------------------------------------
+# Feed these to ``repro.tuner.sweep`` — one shared cache warms the whole
+# table, so the tuned columns of Figures 8/9 cost one offline sweep instead
+# of a tuning run per bench invocation.
+
+def mlp_sweep_tasks(shapes: Sequence[MlpShape],
+                    kernels: Sequence[str] = ("ag_gemm", "gemm_rs"),
+                    world: int = DEFAULT_WORLD, *, spec: HardwareSpec = H800,
+                    preset: str = "small") -> list[tuple[str, TuneTask]]:
+    """(name, task) pairs covering the Figure-8 MLP shape table."""
+    tasks: list[tuple[str, TuneTask]] = []
+    for shape in shapes:
+        for kernel in kernels:
+            if kernel == "ag_gemm":
+                task = ag_gemm_tune_task(shape.s, shape.i // world, shape.h,
+                                         world=world, spec=spec,
+                                         preset=preset)
+            elif kernel == "gemm_rs":
+                task = gemm_rs_tune_task(shape.s, shape.h, shape.i // world,
+                                         world=world, spec=spec,
+                                         preset=preset)
+            else:
+                raise ValueError(f"unknown MLP sweep kernel {kernel!r}")
+            tasks.append((f"{shape.name}/{kernel}", task))
+    return tasks
+
+
+def moe_sweep_tasks(shapes: Sequence[MoeShape],
+                    kernels: Sequence[str] = ("ag_moe", "moe_rs"),
+                    world: int = DEFAULT_WORLD, *, spec: HardwareSpec = H800,
+                    preset: str = "small",
+                    router_seed: int = 17) -> list[tuple[str, TuneTask]]:
+    """(name, task) pairs covering the Table-4 MoE shape table."""
+    tasks: list[tuple[str, TuneTask]] = []
+    for shape in shapes:
+        ishard = shape.i // world
+        for kernel in kernels:
+            if kernel == "ag_moe":
+                task = ag_moe_tune_task(shape.s, shape.h, ishard, shape.e,
+                                        shape.topk, world=world, spec=spec,
+                                        preset=preset,
+                                        router_seed=router_seed)
+            elif kernel == "moe_rs":
+                task = moe_rs_tune_task(shape.s, shape.h, ishard, shape.e,
+                                        shape.topk, world=world, spec=spec,
+                                        preset=preset,
+                                        router_seed=router_seed)
+            else:
+                raise ValueError(f"unknown MoE sweep kernel {kernel!r}")
+            tasks.append((f"{shape.name}/{kernel}", task))
+    return tasks
+
+
+def attention_sweep_tasks(shapes: Sequence[AttnShape],
+                          kernels: Sequence[str] = ("ag_attention",),
+                          world: int = DEFAULT_WORLD, *,
+                          spec: HardwareSpec = H800, preset: str = "small",
+                          causal: bool = True) -> list[tuple[str, TuneTask]]:
+    """(name, task) pairs covering the Figure-10 attention sweep."""
+    tasks: list[tuple[str, TuneTask]] = []
+    for shape in shapes:
+        for seq_len in shape.seq_lens:
+            for kernel in kernels:
+                if kernel == "ag_attention":
+                    task = ag_attention_tune_task(
+                        shape.heads, shape.head_dim, seq_len, causal=causal,
+                        world=world, spec=spec, preset=preset)
+                elif kernel == "ring_attention":
+                    task = ring_attention_tune_task(
+                        shape.heads, shape.head_dim, seq_len, causal=causal,
+                        world=world, spec=spec, preset=preset)
+                else:
+                    raise ValueError(
+                        f"unknown attention sweep kernel {kernel!r}")
+                tasks.append((f"{shape.name}/s{seq_len}/{kernel}", task))
+    return tasks
 
 
 # ---------------------------------------------------------------------------
@@ -179,22 +318,40 @@ def _moe_setup(ctx: DistContext, shape: MoeShape, block_m: int = 128):
     return cfg, routing
 
 
-def moe_part1_builders(shape: MoeShape, world: int = DEFAULT_WORLD
+def moe_part1_builders(shape: MoeShape, world: int = DEFAULT_WORLD, *,
+                       tuned: bool = False,
+                       tune_cache: TuneCache | None = None,
+                       tune_preset: str = "small",
+                       tune_max_trials: int | None = None,
                        ) -> dict[str, Callable[[DistContext], None]]:
     def make(impl: str) -> Callable[[DistContext], None]:
         def build(ctx: DistContext) -> None:
-            cfg, routing = _moe_setup(ctx, shape)
+            p1 = None
+            block_m = 128
+            if impl == "tilelink-tuned":
+                # resolve the tuned config first: the routing granularity
+                # must follow the tuned row tile
+                p1 = AgMoeConfig.autotune(
+                    shape.s, shape.h, shape.i // ctx.world_size, shape.e,
+                    shape.topk, world=ctx.world_size,
+                    spec=ctx.machine.config.spec,
+                    cache=(tune_cache if tune_cache is not None
+                           else TuneCache()),
+                    preset=tune_preset, max_trials=tune_max_trials)
+                block_m = p1.block_m
+            cfg, routing = _moe_setup(ctx, shape, block_m=block_m)
             ishard = cfg.i_shard(ctx.world_size)
             ctx.alloc("x", (cfg.m // ctx.world_size, cfg.h), "float16",
                       fill=None)
-            if impl == "tilelink":
+            if impl in ("tilelink", "tilelink-tuned"):
                 ctx.alloc("w1", (cfg.n_experts * cfg.h, ishard), "float16",
                           fill=None)
                 ctx.alloc("g", (routing.padded_rows, ishard), "float16",
                           fill=None)
-                p1 = AgMoeConfig(m=cfg.m, h=cfg.h, d=ishard,
-                                 n_experts=cfg.n_experts, topk=cfg.topk,
-                                 block_m=cfg.block_m)
+                if p1 is None:
+                    p1 = AgMoeConfig(m=cfg.m, h=cfg.h, d=ishard,
+                                     n_experts=cfg.n_experts, topk=cfg.topk,
+                                     block_m=cfg.block_m)
                 ag_moe_overlapped(ctx, p1, routing, "x", "w1", "g")
             else:
                 ctx.alloc("w1", (cfg.n_experts, cfg.h, ishard), "float16",
@@ -205,25 +362,44 @@ def moe_part1_builders(shape: MoeShape, world: int = DEFAULT_WORLD
                                             "w1", "g")
         return build
 
-    return {"cuBLAS+NCCL": make("cublas"), "CUTLASS+NCCL": make("cutlass"),
-            "vLLM-Op": make("vllm"), "TileLink": make("tilelink")}
+    out = {"cuBLAS+NCCL": make("cublas"), "CUTLASS+NCCL": make("cutlass"),
+           "vLLM-Op": make("vllm"), "TileLink": make("tilelink")}
+    if tuned:
+        out["TileLink-tuned"] = make("tilelink-tuned")
+    return out
 
 
-def moe_part2_builders(shape: MoeShape, world: int = DEFAULT_WORLD
+def moe_part2_builders(shape: MoeShape, world: int = DEFAULT_WORLD, *,
+                       tuned: bool = False,
+                       tune_cache: TuneCache | None = None,
+                       tune_preset: str = "small",
+                       tune_max_trials: int | None = None,
                        ) -> dict[str, Callable[[DistContext], None]]:
     def make(impl: str) -> Callable[[DistContext], None]:
         def build(ctx: DistContext) -> None:
-            cfg, routing = _moe_setup(ctx, shape)
+            p2 = None
+            block_m = 128
+            if impl == "tilelink-tuned":
+                p2 = MoeRsConfig.autotune(
+                    shape.s, shape.h, shape.i // ctx.world_size, shape.e,
+                    shape.topk, world=ctx.world_size,
+                    spec=ctx.machine.config.spec,
+                    cache=(tune_cache if tune_cache is not None
+                           else TuneCache()),
+                    preset=tune_preset, max_trials=tune_max_trials)
+                block_m = p2.block_m
+            cfg, routing = _moe_setup(ctx, shape, block_m=block_m)
             ishard = cfg.i_shard(ctx.world_size)
             ctx.alloc("y", (cfg.m // ctx.world_size, cfg.h), "float32",
                       fill=None)
-            if impl == "tilelink":
+            if impl in ("tilelink", "tilelink-tuned"):
                 ctx.alloc("g", (routing.padded_rows, ishard), "float16",
                           fill=None)
                 ctx.alloc("w2", (cfg.n_experts * ishard, cfg.h), "float16",
                           fill=None)
-                p2 = MoeRsConfig(m=cfg.m, h=cfg.h, d=ishard,
-                                 block_m=cfg.block_m)
+                if p2 is None:
+                    p2 = MoeRsConfig(m=cfg.m, h=cfg.h, d=ishard,
+                                     block_m=cfg.block_m)
                 moe_rs_overlapped(ctx, p2, routing, "g", "w2", "y")
             else:
                 ctx.alloc("g", (len(routing.sorted_token_ids), ishard),
@@ -234,8 +410,11 @@ def moe_part2_builders(shape: MoeShape, world: int = DEFAULT_WORLD
                                             "w2", "y")
         return build
 
-    return {"cuBLAS+NCCL": make("cublas"), "CUTLASS+NCCL": make("cutlass"),
-            "vLLM-Op": make("vllm"), "TileLink": make("tilelink")}
+    out = {"cuBLAS+NCCL": make("cublas"), "CUTLASS+NCCL": make("cutlass"),
+           "vLLM-Op": make("vllm"), "TileLink": make("tilelink")}
+    if tuned:
+        out["TileLink-tuned"] = make("tilelink-tuned")
+    return out
 
 
 def moe_layer_builders(shape: MoeShape, world: int = DEFAULT_WORLD

@@ -56,8 +56,13 @@ def _ag_consumer_gemm(gathered, w, out, channel: tl.BlockChannel,
         tiles_m = tl.cdiv(M, BM)
         tiles_n = tl.cdiv(N, BN)
         total = tiles_m * tiles_n
-        # start at our own segment's first tile (tile-order subspace)
-        start = channel.rank * (tiles_m // channel.num_ranks) * tiles_n
+        # start at the tile containing our own segment's first row (the
+        # tile-order subspace).  Derive the row tile from the segment's
+        # first *row*, not from tiles_m // num_ranks: when tiles_m is not
+        # divisible by num_ranks the latter skews every rank off its own
+        # segment, defeating the locally-resident-first traversal.
+        m_per_rank = M // channel.num_ranks
+        start = (channel.rank * m_per_rank // BM) * tiles_n
         for i in range(cid, total, nconsumers):
             t = (start + i) % total
             tid_m = t // tiles_n

@@ -19,13 +19,15 @@ are compared against.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.collectives.copy_engine import dma_all_gather
 from repro.compiler.program import CompileOptions
-from repro.errors import ShapeError
-from repro.kernels.moe_common import MoeRouting
+from repro.config import H800, HardwareSpec
+from repro.errors import RuntimeLaunchError, ShapeError
+from repro.kernels.moe_common import MoeRouting, routing_memo
 from repro.lang import tl
 from repro.lang.dsl import kernel
 from repro.mapping.layout import TileGrid
@@ -33,6 +35,12 @@ from repro.mapping.static import AffineTileMapping
 from repro.runtime.context import DistContext
 from repro.runtime.launcher import launch_spmd
 from repro.sim.engine import Process
+from repro.tuner.costprune import ag_moe_lower_bound
+from repro.tuner.space import Axis, SearchSpace, divisors_of, register_space
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.tuner.cache import TuneCache
+    from repro.tuner.search import TuneResult
 
 
 @kernel
@@ -81,6 +89,118 @@ class AgMoeConfig:
             raise ShapeError(f"M={self.m} not divisible by world={world}")
         if (self.m // world) % self.block_m != 0:
             raise ShapeError("per-rank tokens must align to block_m")
+
+    def tune_candidate(self) -> dict:
+        """This config as a tuner candidate dict (the searched axes)."""
+        return dict(block_m=self.block_m, block_n=self.block_n,
+                    block_k=self.block_k)
+
+    @classmethod
+    def autotune(cls, m: int, h: int, d: int, n_experts: int, topk: int, *,
+                 world: int = 8, spec: HardwareSpec = H800,
+                 strategy: str = "exhaustive",
+                 cache: "TuneCache | None" = None, preset: str = "small",
+                 space: SearchSpace | None = None,
+                 max_trials: int | None = None, seed: int = 0,
+                 slack: float = 0.0, router_seed: int = 17,
+                 full_result: bool = False) -> "AgMoeConfig | TuneResult":
+        """Search the routing-aware design space for this MoE shape; return
+        the winning config (or the full :class:`~repro.tuner.TuneResult`
+        when ``full_result`` is set)."""
+        from repro.tuner.search import tune
+
+        task = ag_moe_tune_task(m, h, d, n_experts, topk, world=world,
+                                spec=spec, space=space, preset=preset,
+                                router_seed=router_seed)
+        result = tune(task, world=world, spec=spec, strategy=strategy,
+                      cache=cache, max_trials=max_trials, seed=seed,
+                      slack=slack)
+        return result if full_result else result.best_config
+
+
+# ---------------------------------------------------------------------------
+# Tuner integration: the AG+MoE slice of the decoupled design space
+# ---------------------------------------------------------------------------
+
+def ag_moe_search_space(m: int, h: int, d: int, world: int,
+                        preset: str = "default") -> SearchSpace:
+    """The routing-aware design space of AG+MoE part 1 for one shape.
+
+    ``block_m`` is both the grouped-GEMM row tile and the routing/AG
+    granularity (the dynamic mapping pads every expert group to it), so it
+    must divide the per-rank token count; ``block_n``/``block_k`` tile the
+    expert shard width and the GEMM depth.  The AllGather itself rides the
+    copy engine, so there is no mode or ``comm_blocks`` axis here.
+    """
+    per_rank = m // world
+    if preset == "small":
+        axes = (
+            Axis("block_m", divisors_of(per_rank, (128, 256))),
+            Axis("block_n", (128,)),
+            Axis("block_k", (64,)),
+        )
+    elif preset == "default":
+        axes = (
+            Axis("block_m", divisors_of(per_rank, (64, 128, 256))),
+            Axis("block_n", (64, 128, 256)),
+            Axis("block_k", (32, 64, 128)),
+        )
+    else:
+        raise RuntimeLaunchError(f"unknown AG+MoE space preset {preset!r}")
+    return SearchSpace(axes=axes)
+
+
+register_space("ag_moe", ag_moe_search_space)
+
+
+def ag_moe_tune_task(m: int, h: int, d: int, n_experts: int, topk: int, *,
+                     world: int = 8, spec: HardwareSpec = H800,
+                     space: SearchSpace | None = None, preset: str = "small",
+                     router_seed: int = 17):
+    """Build the :class:`~repro.tuner.TuneTask` tuning AG+MoE on a shape.
+
+    Routing is block_m-dependent (the grouped layout pads per expert to
+    the row tile), so the task rebuilds — and memoises — one
+    :class:`MoeRouting` per (token count, ``block_m``) from seeded router
+    logits; the seed is part of the shape key so differently-routed
+    problems never alias in the cache.
+    """
+    from repro.tuner.search import TuneTask
+
+    space = space or ag_moe_search_space(m, h, d, world, preset=preset)
+    routing_for = routing_memo(n_experts, topk, world, router_seed)
+
+    def make_builder(cand: dict, scale: float = 1.0):
+        align = world * int(cand["block_m"])
+        m_s = m if scale >= 1.0 else max(align, int(m * scale) // align * align)
+        routing = routing_for(m_s, int(cand["block_m"]))
+        cfg = AgMoeConfig(m=m_s, h=h, d=d, n_experts=n_experts, topk=topk,
+                          **cand)
+
+        def build(ctx: DistContext) -> None:
+            ctx.alloc("x", (m_s // world, h), "float16", fill=None)
+            ctx.alloc("w1", (n_experts * h, d), "float16", fill=None)
+            ctx.alloc("g", (routing.padded_rows, d), "float16", fill=None)
+            ag_moe_overlapped(ctx, cfg, routing, "x", "w1", "g")
+
+        return build
+
+    def bound(cand: dict) -> float:
+        rows = routing_for(m, int(cand["block_m"])).padded_rows
+        return ag_moe_lower_bound(cand, m=m, h=h, d=d, world=world,
+                                  spec=spec, topk=topk, grouped_rows=rows)
+
+    return TuneTask(
+        kernel="ag_moe",
+        shape_key=f"m{m}h{h}d{d}e{n_experts}t{topk}r{router_seed}",
+        space=space,
+        default=AgMoeConfig(m=m, h=h, d=d, n_experts=n_experts,
+                            topk=topk).tune_candidate(),
+        make_builder=make_builder,
+        bound=bound,
+        finalize=lambda c: AgMoeConfig(m=m, h=h, d=d, n_experts=n_experts,
+                                       topk=topk, **c),
+    )
 
 
 def ag_moe_overlapped(

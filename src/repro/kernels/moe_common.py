@@ -146,3 +146,28 @@ def random_router_logits(n_tokens: int, n_experts: int,
     activations; a seeded Gaussian preserves the balanced-load regime)."""
     rng = np.random.default_rng(seed)
     return rng.standard_normal((n_tokens, n_experts)).astype(np.float32)
+
+
+def routing_memo(n_experts: int, topk: int, world_size: int,
+                 router_seed: int = 17):
+    """Memoised ``(n_tokens, block_m) -> MoeRouting`` builder.
+
+    The tuner needs routing rebuilt per candidate ``block_m`` (the grouped
+    layout pads every expert group to the row tile) and per scaled token
+    count (halving rungs), always from the *same* seeded logits so shapes
+    stay comparable; this factory shares that memo between the MoE tune
+    tasks.
+    """
+    routings: dict[tuple[int, int], MoeRouting] = {}
+
+    def routing_for(n_tokens: int, block_m: int) -> MoeRouting:
+        key = (n_tokens, block_m)
+        if key not in routings:
+            logits = random_router_logits(n_tokens, n_experts,
+                                          seed=router_seed)
+            routings[key] = build_moe_routing(
+                logits, n_tokens // world_size, world_size, topk,
+                block_m=block_m)
+        return routings[key]
+
+    return routing_for

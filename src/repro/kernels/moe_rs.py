@@ -26,12 +26,14 @@ Chain realized here:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.compiler.program import CompileOptions
-from repro.errors import ShapeError
-from repro.kernels.moe_common import MoeRouting
+from repro.config import H800, HardwareSpec
+from repro.errors import RuntimeLaunchError, ShapeError
+from repro.kernels.moe_common import MoeRouting, routing_memo
 from repro.lang import tl
 from repro.lang.dsl import kernel
 from repro.mapping.dynamic import TableTileMapping
@@ -39,6 +41,12 @@ from repro.mapping.layout import TileGrid
 from repro.runtime.context import DistContext
 from repro.runtime.launcher import launch_spmd
 from repro.sim.engine import Process, ProcessGen
+from repro.tuner.costprune import moe_rs_lower_bound
+from repro.tuner.space import Axis, SearchSpace, divisors_of, register_space
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.tuner.cache import TuneCache
+    from repro.tuner.search import TuneResult
 
 
 @kernel
@@ -110,6 +118,117 @@ class MoeRsConfig:
     def validate(self, world: int) -> None:
         if self.m % world != 0:
             raise ShapeError(f"M={self.m} not divisible by world={world}")
+
+    def tune_candidate(self) -> dict:
+        """This config as a tuner candidate dict (the searched axes)."""
+        return dict(block_m=self.block_m, block_n=self.block_n,
+                    block_k=self.block_k, block_mr=self.block_mr,
+                    block_nr=self.block_nr)
+
+    @classmethod
+    def autotune(cls, m: int, h: int, d: int, n_experts: int, topk: int, *,
+                 world: int = 8, spec: HardwareSpec = H800,
+                 strategy: str = "exhaustive",
+                 cache: "TuneCache | None" = None, preset: str = "small",
+                 space: SearchSpace | None = None,
+                 max_trials: int | None = None, seed: int = 0,
+                 slack: float = 0.0, router_seed: int = 17,
+                 full_result: bool = False) -> "MoeRsConfig | TuneResult":
+        """Search the routing-aware design space for this MoE shape; return
+        the winning config (or the full :class:`~repro.tuner.TuneResult`
+        when ``full_result`` is set)."""
+        from repro.tuner.search import tune
+
+        task = moe_rs_tune_task(m, h, d, n_experts, topk, world=world,
+                                spec=spec, space=space, preset=preset,
+                                router_seed=router_seed)
+        result = tune(task, world=world, spec=spec, strategy=strategy,
+                      cache=cache, max_trials=max_trials, seed=seed,
+                      slack=slack)
+        return result if full_result else result.best_config
+
+
+# ---------------------------------------------------------------------------
+# Tuner integration: the MoE+RS slice of the decoupled design space
+# ---------------------------------------------------------------------------
+
+def moe_rs_search_space(m: int, h: int, d: int, world: int,
+                        preset: str = "default") -> SearchSpace:
+    """The routing-aware design space of MoE part 2 for one shape.
+
+    Decoupled compute tile (``block_m/n/k`` — ``block_m`` doubles as the
+    routing granularity) and reduction/communication tile
+    (``block_mr/nr``); the segment scatter is pinned to the copy engine
+    (hybrid mapping), so no ``comm_blocks``/mode axis.
+    """
+    per_rank = m // world
+    if preset == "small":
+        axes = (
+            Axis("block_m", divisors_of(per_rank, (128, 256))),
+            Axis("block_n", (128,)),
+            Axis("block_k", (64,)),
+            Axis("block_mr", divisors_of(per_rank, (128, 256))),
+            Axis("block_nr", (256,)),
+        )
+    elif preset == "default":
+        axes = (
+            Axis("block_m", divisors_of(per_rank, (64, 128, 256))),
+            Axis("block_n", (64, 128, 256)),
+            Axis("block_k", (32, 64, 128)),
+            Axis("block_mr", divisors_of(per_rank, (64, 128, 256, 512))),
+            Axis("block_nr", (128, 256, 512)),
+        )
+    else:
+        raise RuntimeLaunchError(f"unknown MoE+RS space preset {preset!r}")
+    return SearchSpace(axes=axes)
+
+
+register_space("moe_rs", moe_rs_search_space)
+
+
+def moe_rs_tune_task(m: int, h: int, d: int, n_experts: int, topk: int, *,
+                     world: int = 8, spec: HardwareSpec = H800,
+                     space: SearchSpace | None = None, preset: str = "small",
+                     router_seed: int = 17):
+    """Build the :class:`~repro.tuner.TuneTask` tuning MoE+RS on a shape.
+
+    Like :func:`repro.kernels.ag_moe.ag_moe_tune_task`, routing is
+    rebuilt (and memoised) per (token count, ``block_m``); the router seed
+    joins the shape key.
+    """
+    from repro.tuner.search import TuneTask
+
+    space = space or moe_rs_search_space(m, h, d, world, preset=preset)
+    routing_for = routing_memo(n_experts, topk, world, router_seed)
+
+    def make_builder(cand: dict, scale: float = 1.0):
+        align = world * max(int(cand["block_m"]), int(cand["block_mr"]))
+        m_s = m if scale >= 1.0 else max(align, int(m * scale) // align * align)
+        routing = routing_for(m_s, int(cand["block_m"]))
+        cfg = MoeRsConfig(m=m_s, h=h, d=d, **cand)
+
+        def build(ctx: DistContext) -> None:
+            ctx.alloc("g", (routing.padded_rows, d), "float16", fill=None)
+            ctx.alloc("w2", (n_experts * d, h), "float16", fill=None)
+            ctx.alloc("y", (m_s // world, h), "float32", fill=None)
+            moe_rs_overlapped(ctx, cfg, routing, "g", "w2", "y")
+
+        return build
+
+    def bound(cand: dict) -> float:
+        rows = routing_for(m, int(cand["block_m"])).padded_rows
+        return moe_rs_lower_bound(cand, m=m, h=h, d=d, world=world,
+                                  spec=spec, topk=topk, grouped_rows=rows)
+
+    return TuneTask(
+        kernel="moe_rs",
+        shape_key=f"m{m}h{h}d{d}e{n_experts}t{topk}r{router_seed}",
+        space=space,
+        default=MoeRsConfig(m=m, h=h, d=d).tune_candidate(),
+        make_builder=make_builder,
+        bound=bound,
+        finalize=lambda c: MoeRsConfig(m=m, h=h, d=d, **c),
+    )
 
 
 def moe_rs_overlapped(

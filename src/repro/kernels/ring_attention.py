@@ -16,14 +16,75 @@ Numerics use the same online-softmax accumulation as the TileLink kernel.
 
 from __future__ import annotations
 
+from repro.config import H800, HardwareSpec
 from repro.errors import ShapeError
-from repro.kernels.attention import AgAttentionConfig, _OnlineSoftmax
+from repro.kernels.attention import (
+    AgAttentionConfig,
+    _OnlineSoftmax,
+    attention_search_space,
+)
 from repro.ops.attention import flash_segment_time, heads_to_seq, seq_to_heads
 from repro.runtime.context import DistContext
 from repro.sim.engine import Join, Process, ProcessGen, Timeout
+from repro.tuner.costprune import ring_attention_lower_bound
+from repro.tuner.space import SearchSpace, register_space
 
 #: per-step host cost of the torch.distributed SendRecv pair
 HOP_DISPATCH_OVERHEAD = 30e-6
+
+# The ring baseline shares the flash-tile axes with the AG kernel — the
+# searched subspace is the same q/kv tiling; only the builder (and its
+# lockstep cost structure) differs.
+register_space("ring_attention", attention_search_space)
+
+
+def ring_attention_tune_task(heads: int, head_dim: int, seq_len: int, *,
+                             causal: bool = True, world: int = 8,
+                             spec: HardwareSpec = H800,
+                             space: SearchSpace | None = None,
+                             preset: str = "small"):
+    """Build the :class:`~repro.tuner.TuneTask` tuning RingAttention.
+
+    Tuning the baseline keeps the Figure-10 comparison honest: TileLink's
+    tuned kernel is measured against the ring's *best* tiling, not its
+    default one.
+    """
+    from repro.tuner.search import TuneTask
+
+    space = space or attention_search_space(heads, head_dim, seq_len, world,
+                                            preset=preset)
+
+    def make_builder(cand: dict, scale: float = 1.0):
+        align = world * max(int(cand["block_q"]), int(cand["block_kv"]))
+        s_s = seq_len if scale >= 1.0 else \
+            max(align, int(seq_len * scale) // align * align)
+        cfg = AgAttentionConfig(heads=heads, head_dim=head_dim, seq_len=s_s,
+                                causal=causal, **cand)
+
+        def build(ctx: DistContext) -> None:
+            s_per = s_s // world
+            for name in ("q", "k", "v"):
+                ctx.alloc(name, (s_per, cfg.width), "float16", fill=None)
+            ctx.alloc("o", (s_per, cfg.width), "float32", fill=None)
+            ring_attention(ctx, cfg, "q", "k", "v", "o")
+
+        return build
+
+    return TuneTask(
+        kernel="ring_attention",
+        shape_key=f"h{heads}d{head_dim}s{seq_len}c{int(causal)}",
+        space=space,
+        default=AgAttentionConfig(heads=heads, head_dim=head_dim,
+                                  seq_len=seq_len,
+                                  causal=causal).tune_candidate(),
+        make_builder=make_builder,
+        bound=lambda c: ring_attention_lower_bound(
+            c, heads=heads, head_dim=head_dim, seq_len=seq_len, world=world,
+            spec=spec),
+        finalize=lambda c: AgAttentionConfig(heads=heads, head_dim=head_dim,
+                                             seq_len=seq_len, causal=causal,
+                                             **c),
+    )
 
 
 def ring_attention(

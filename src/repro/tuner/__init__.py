@@ -14,7 +14,10 @@ each:
   strategies executing survivors through
   :func:`repro.bench.harness.run_builder`;
 * :mod:`repro.tuner.cache` — persistent JSON memo keyed on
-  (kernel, shape, world size, spec fingerprint, space fingerprint).
+  (kernel, shape, world size, spec fingerprint, space fingerprint);
+* :mod:`repro.tuner.sweep` — multi-shape driver tuning a whole shape
+  table (Table 4, Figure 8) through one shared cache, deduplicating
+  candidate simulation across shapes that alias in key space.
 
 One-call API::
 
@@ -30,13 +33,24 @@ or, one level higher, the kernels' classmethods::
 from repro.tuner.cache import TuneCache, default_cache_path, make_key
 from repro.tuner.costprune import (
     PruneResult,
+    ag_attention_lower_bound,
     ag_gemm_lower_bound,
+    ag_moe_lower_bound,
+    flash_segment_floor,
     gemm_rs_lower_bound,
     gemm_wave_time,
     link_transfer_time,
+    moe_rs_lower_bound,
     prune,
+    ring_attention_lower_bound,
 )
-from repro.tuner.search import TuneResult, TuneTask, tune
+from repro.tuner.search import (
+    TuneResult,
+    TuneTask,
+    search_signature,
+    task_cache_key,
+    tune,
+)
 from repro.tuner.space import (
     Axis,
     SearchSpace,
@@ -46,11 +60,15 @@ from repro.tuner.space import (
     register_space,
     registered_kernels,
 )
+from repro.tuner.sweep import SweepEntry, SweepReport, sweep
 
 __all__ = [
-    "Axis", "PruneResult", "SearchSpace", "TuneCache", "TuneResult",
-    "TuneTask", "TunerError", "ag_gemm_lower_bound", "default_cache_path",
-    "divisors_of", "gemm_rs_lower_bound", "gemm_wave_time", "get_space",
-    "link_transfer_time", "make_key", "prune", "register_space",
-    "registered_kernels", "tune",
+    "Axis", "PruneResult", "SearchSpace", "SweepEntry", "SweepReport",
+    "TuneCache", "TuneResult", "TuneTask", "TunerError",
+    "ag_attention_lower_bound", "ag_gemm_lower_bound", "ag_moe_lower_bound",
+    "default_cache_path", "divisors_of", "flash_segment_floor",
+    "gemm_rs_lower_bound", "gemm_wave_time", "get_space",
+    "link_transfer_time", "make_key", "moe_rs_lower_bound", "prune",
+    "register_space", "registered_kernels", "ring_attention_lower_bound",
+    "search_signature", "sweep", "task_cache_key", "tune",
 ]

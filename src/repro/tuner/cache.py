@@ -18,8 +18,11 @@ the cache file records *which* config produced them.
 The default location is ``$REPRO_TUNE_CACHE`` or
 ``~/.cache/repro-tilelink/tune_cache.json``; pass an explicit path for
 hermetic runs (tests use ``tmp_path``).  Writes are atomic
-(write-temp-then-rename) and a corrupt/foreign file is treated as empty
-rather than raising.
+(write-temp-then-rename); every flush takes an exclusive ``flock`` on a
+sidecar lockfile and re-reads + merges the on-disk entries before
+renaming, so two processes tuning different kernels against one cache
+file cannot drop each other's results.  A corrupt/foreign file is
+treated as empty rather than raising.
 """
 
 from __future__ import annotations
@@ -27,8 +30,14 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterator
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 _VERSION = 1
 
@@ -64,34 +73,70 @@ class TuneCache:
 
     # -- storage ------------------------------------------------------------
 
+    def _read_disk(self) -> dict[str, dict]:
+        """Entries currently on disk; {} for a missing/corrupt/foreign file."""
+        try:
+            raw = json.loads(self.path.read_text())
+            if isinstance(raw, dict) and raw.get("version") == _VERSION:
+                entries = raw.get("entries", {})
+                if isinstance(entries, dict):
+                    return entries
+        except (OSError, ValueError):
+            pass  # missing or corrupt cache == empty cache
+        return {}
+
     def _load(self) -> dict[str, dict]:
         if self._entries is None:
-            self._entries = {}
-            try:
-                raw = json.loads(self.path.read_text())
-                if isinstance(raw, dict) and raw.get("version") == _VERSION:
-                    entries = raw.get("entries", {})
-                    if isinstance(entries, dict):
-                        self._entries = entries
-            except (OSError, ValueError):
-                pass  # missing or corrupt cache == empty cache
+            self._entries = self._read_disk()
         return self._entries
 
-    def _flush(self) -> None:
-        payload = {"version": _VERSION, "entries": self._load()}
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=str(self.path.parent),
-                                   prefix=self.path.name, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as fh:
-                json.dump(payload, fh, indent=1, sort_keys=True)
-            os.replace(tmp, self.path)
-        except BaseException:
+    @contextmanager
+    def _write_lock(self) -> Iterator[None]:
+        """Exclusive inter-process lock spanning one read-merge-rename.
+
+        Without it two processes could interleave their disk re-reads and
+        renames and still lose an update; ``flock`` on a sidecar lockfile
+        closes that window.  Degrades to unlocked (merge-on-flush only) on
+        platforms without :mod:`fcntl`.
+        """
+        if fcntl is None:
+            yield
+            return
+        lock_path = self.path.with_name(self.path.name + ".lock")
+        with open(lock_path, "w") as lock_fh:
+            fcntl.flock(lock_fh, fcntl.LOCK_EX)
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+                yield
+            finally:
+                fcntl.flock(lock_fh, fcntl.LOCK_UN)
+
+    def _flush(self, merge: bool = True) -> None:
+        entries = self._load()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self._write_lock():
+            if merge:
+                # Another process may have written since our lazy read; a
+                # blind read-modify-write of the whole file would drop its
+                # entries.  Re-read under the lock and merge, our entries
+                # winning any key conflict (we hold the freshest result
+                # for keys we tuned).
+                on_disk = self._read_disk()
+                if on_disk:
+                    entries = {**on_disk, **entries}
+                    self._entries = entries
+            payload = {"version": _VERSION, "entries": entries}
+            fd, tmp = tempfile.mkstemp(dir=str(self.path.parent),
+                                       prefix=self.path.name, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    json.dump(payload, fh, indent=1, sort_keys=True)
+                os.replace(tmp, self.path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
 
     # -- dict-ish API -------------------------------------------------------
 
@@ -112,5 +157,6 @@ class TuneCache:
         return len(self._load())
 
     def clear(self) -> None:
+        """Empty the cache file (no merge: clearing means clearing)."""
         self._entries = {}
-        self._flush()
+        self._flush(merge=False)

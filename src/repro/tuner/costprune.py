@@ -24,6 +24,7 @@ that could actually win, up to the fidelity of the cost model itself.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -110,6 +111,116 @@ def gemm_rs_lower_bound(cand: Candidate, *, m: int, n: int, k: int,
     comm = link_transfer_time(spec, comm_bytes,
                               sm_blocks=comm_blocks if sm_comm else None)
     return max(compute, comm)
+
+
+def ag_moe_lower_bound(cand: Candidate, *, m: int, h: int, d: int,
+                       world: int, spec: HardwareSpec, topk: int = 2,
+                       grouped_rows: int | None = None,
+                       dtype_bytes: int = 2) -> float:
+    """Closed-form lower bound for one AG+MoE-GroupGEMM candidate.
+
+    The token AllGather rides the copy engine (no SM reservation); the
+    grouped consumer GEMM covers at least ``m * topk`` grouped rows —
+    expert padding only *adds* tiles, so the un-padded row count is a
+    sound floor when the caller has no routing at hand.  Pass the actual
+    ``routing.padded_rows`` as ``grouped_rows`` for a tighter bound.
+    """
+    rows = grouped_rows if grouped_rows is not None else m * topk
+    compute = gemm_wave_time(
+        spec, rows, d, h,
+        block_m=int(cand.get("block_m", 128)),
+        block_n=int(cand.get("block_n", 128)),
+        block_k=int(cand.get("block_k", 64)),
+        n_sms=spec.n_sms, dtype_bytes=dtype_bytes)
+    comm_bytes = (world - 1) * (m // world) * h * dtype_bytes
+    comm = link_transfer_time(spec, comm_bytes)
+    return max(compute, comm)
+
+
+def moe_rs_lower_bound(cand: Candidate, *, m: int, h: int, d: int,
+                       world: int, spec: HardwareSpec, topk: int = 2,
+                       grouped_rows: int | None = None,
+                       dtype_bytes: int = 2) -> float:
+    """Closed-form lower bound for one GroupGEMM+Scatter+TopkReduce+RS
+    candidate.
+
+    The producer grouped GEMM covers the grouped rows x ``h`` over depth
+    ``d`` on all SMs (scatter-add and the final reduction only add work);
+    the segment scatter ships ``world - 1`` fp32 partial segments of
+    ``(m/world x h)`` out of every rank on the copy engine.
+    """
+    rows = grouped_rows if grouped_rows is not None else m * topk
+    compute = gemm_wave_time(
+        spec, rows, h, d,
+        block_m=int(cand.get("block_m", 128)),
+        block_n=int(cand.get("block_n", 128)),
+        block_k=int(cand.get("block_k", 64)),
+        n_sms=spec.n_sms, dtype_bytes=dtype_bytes)
+    comm_bytes = (world - 1) * (m // world) * h * 4  # fp32 partials
+    comm = link_transfer_time(spec, comm_bytes)
+    return max(compute, comm)
+
+
+def flash_segment_floor(spec: HardwareSpec, heads: int, sq: int, dim: int, *,
+                        block_q: int, block_kv: int, n_sms: int,
+                        steps: int) -> float:
+    """Makespan floor of one flash-attention segment pass.
+
+    Mirrors :func:`repro.ops.attention.flash_segment_time` so the pruner's
+    attention floor and the simulator's per-segment pricing cannot drift.
+    """
+    cm = CostModel(spec)
+    blocks = heads * math.ceil(sq / block_q)
+    waves = math.ceil(blocks / max(1, n_sms))
+    step_t = cm.flash_step_time(block_q, block_kv, dim)
+    return waves * (cm.MMA_PROLOGUE + max(1, steps) * step_t)
+
+
+def ag_attention_lower_bound(cand: Candidate, *, heads: int, head_dim: int,
+                             seq_len: int, world: int, spec: HardwareSpec,
+                             causal: bool = True,
+                             dtype_bytes: int = 2) -> float:
+    """Closed-form lower bound for one AG-KV + flash-attention candidate.
+
+    The busiest rank sets the makespan floor: under causal masking the
+    last rank attends to every KV segment (its own diagonal segment at
+    half density); without masking every rank does.  The KV AllGather
+    moves ``world - 1`` remote K and V segments into every rank on the
+    copy engine.
+    """
+    s_per = seq_len // world
+    bq = int(cand.get("block_q", 128))
+    bkv = int(cand.get("block_kv", 128))
+    n_sms = max(1, spec.n_sms - int(cand.get("comm_sms", 0)))
+    steps_full = math.ceil(s_per / bkv)
+    compute = 0.0
+    for seg in range(world):
+        frac = 0.5 if (causal and seg == world - 1) else 1.0
+        compute += flash_segment_floor(
+            spec, heads, s_per, head_dim, block_q=bq, block_kv=bkv,
+            n_sms=n_sms, steps=math.ceil(steps_full * frac))
+    width = heads * head_dim
+    comm_bytes = 2.0 * (world - 1) * s_per * width * dtype_bytes  # K and V
+    comm = link_transfer_time(spec, comm_bytes)
+    return max(compute, comm)
+
+
+def ring_attention_lower_bound(cand: Candidate, *, heads: int, head_dim: int,
+                               seq_len: int, world: int,
+                               spec: HardwareSpec) -> float:
+    """Closed-form lower bound for one RingAttention candidate.
+
+    The ring is lockstep: ``world`` steps, each a full-density chunk of
+    flash compute (plain RingAttention neither skips masked chunks nor
+    rebalances the causal triangle).  Hop latencies only add on top.
+    """
+    s_per = seq_len // world
+    bq = int(cand.get("block_q", 128))
+    bkv = int(cand.get("block_kv", 128))
+    per_step = flash_segment_floor(
+        spec, heads, s_per, head_dim, block_q=bq, block_kv=bkv,
+        n_sms=spec.n_sms, steps=math.ceil(s_per / bkv))
+    return world * per_step
 
 
 @dataclass(frozen=True)

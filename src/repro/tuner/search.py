@@ -86,6 +86,33 @@ class TuneResult:
         return self.n_pruned / self.n_candidates if self.n_candidates else 0.0
 
 
+def search_signature(strategy: str, max_trials: int | None,
+                     seed: int) -> str:
+    """Cache-key suffix identifying a *restricted* search.
+
+    The canonical full search (exhaustive, uncapped) keeps a bare key so
+    bench reruns and ``mode="auto"`` all share one entry; every weaker
+    search is suffixed so its possibly-weaker winner never aliases it.
+    ``max_trials=None`` renders as ``mtall`` — a normalized token, not the
+    Python repr — so e.g. an uncapped random search keys identically no
+    matter how the caller spelled the missing cap.
+    """
+    if strategy == "exhaustive" and max_trials is None:
+        return ""
+    mt = "all" if max_trials is None else str(int(max_trials))
+    return f"|{strategy}-mt{mt}-s{int(seed)}"
+
+
+def task_cache_key(task: TuneTask, *, world: int, spec: HardwareSpec,
+                   strategy: str = "exhaustive",
+                   max_trials: int | None = None, seed: int = 0) -> str:
+    """The exact persistent-cache key a :func:`tune` call would use."""
+    return cache_mod.make_key(
+        task.kernel, task.shape_key, world, spec.fingerprint(),
+        task.space.fingerprint()) + search_signature(strategy, max_trials,
+                                                     seed)
+
+
 def _simulate(task: TuneTask, cand: Candidate, scale: float, *,
               world: int, spec: HardwareSpec) -> float:
     # Imported lazily: repro.bench pulls in the kernel zoo, which itself
@@ -109,13 +136,8 @@ def tune(task: TuneTask, *, world: int = 8, spec: HardwareSpec = H800,
 
     # The search signature is part of the key: a capped/random search must
     # not alias a later, stronger search on the same shape/spec/space.
-    # The canonical full search keeps a bare key so bench reruns and
-    # ``mode="auto"`` all share one entry.
-    sig = "" if (strategy == "exhaustive" and max_trials is None) else \
-        f"|{strategy}-mt{max_trials}-s{seed}"
-    key = cache_mod.make_key(task.kernel, task.shape_key, world,
-                             spec.fingerprint(),
-                             task.space.fingerprint()) + sig
+    key = task_cache_key(task, world=world, spec=spec, strategy=strategy,
+                         max_trials=max_trials, seed=seed)
     if cache is not None:
         hit = cache.get(key)
         if hit is not None:

@@ -1,0 +1,199 @@
+"""Multi-shape tuning sweeps (the *sweep* driver).
+
+The paper's tables are whole shape *tables* — Table 4's six MoE shapes,
+Figure 8's six MLP shapes — not single points, and tuning them one
+:func:`repro.tuner.search.tune` call at a time repays none of the work
+across shapes.  :func:`sweep` drives a list of
+:class:`~repro.tuner.search.TuneTask` through **one shared**
+:class:`~repro.tuner.cache.TuneCache`:
+
+* every task's full cache key (kernel | shape | world | spec fingerprint |
+  space fingerprint | search signature) is computed up front via
+  :func:`repro.tuner.search.task_cache_key`;
+* tasks that resolve to the *same* key — shapes sharing a space
+  fingerprint and problem signature, or one shape listed under two names —
+  are deduplicated: the candidate simulations run once and every aliasing
+  entry shares the result (``deduped_from`` names the first task);
+* everything else flows through :func:`tune` with the shared cache, so a
+  warm rerun of the whole sweep does **zero** simulations
+  (``from_cache=True`` on every shape) — cache warm-up is paid once per
+  table, not once per bench invocation.
+
+The returned :class:`SweepReport` carries one :class:`SweepEntry` per
+task, formats as a paper-style per-shape table, and exports plain dict
+rows for the machine-readable bench path
+(``benchmarks/bench_autotune_sweep.py --json``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence, Union
+
+from repro.config import H800, HardwareSpec
+from repro.tuner import cache as cache_mod
+from repro.tuner.search import TuneResult, TuneTask, task_cache_key, tune
+from repro.tuner.space import TunerError
+
+#: A sweep input: a bare task (named after its kernel/shape) or a
+#: (display name, task) pair.
+SweepInput = Union[TuneTask, tuple[str, TuneTask]]
+
+
+@dataclass(frozen=True)
+class SweepEntry:
+    """Outcome of one task of a :func:`sweep` call."""
+
+    name: str
+    kernel: str
+    shape_key: str
+    cache_key: str
+    result: TuneResult
+    #: name of the earlier sweep task whose tuning this entry reused
+    #: (same full cache key); ``None`` when this entry ran its own search.
+    deduped_from: str | None = None
+
+    @property
+    def speedup(self) -> float:
+        if not self.result.default_time:
+            return float("nan")
+        return self.result.default_time / self.result.best_time
+
+    @property
+    def n_simulated(self) -> int:
+        """Simulations this entry actually paid for (0 when deduplicated)."""
+        return 0 if self.deduped_from is not None else self.result.n_simulated
+
+    @property
+    def from_cache(self) -> bool:
+        """True when no new simulation ran for this shape (persistent-cache
+        hit or intra-sweep dedup)."""
+        return self.result.from_cache or self.deduped_from is not None
+
+
+@dataclass
+class SweepReport:
+    """Per-shape outcomes of one :func:`sweep` call."""
+
+    entries: list[SweepEntry]
+
+    @property
+    def n_simulated(self) -> int:
+        return sum(e.n_simulated for e in self.entries)
+
+    @property
+    def n_from_cache(self) -> int:
+        return sum(1 for e in self.entries if e.from_cache)
+
+    @property
+    def n_deduped(self) -> int:
+        return sum(1 for e in self.entries if e.deduped_from is not None)
+
+    def entry(self, name: str) -> SweepEntry:
+        for e in self.entries:
+            if e.name == name:
+                return e
+        raise TunerError(f"no sweep entry named {name!r}; "
+                         f"known: {[e.name for e in self.entries]}")
+
+    def rows(self) -> list[dict]:
+        """Plain dict rows (one per shape) for JSON emission."""
+        return [{
+            "name": e.name,
+            "kernel": e.kernel,
+            "shape": e.shape_key,
+            "default_ms": (e.result.default_time or 0.0) * 1e3,
+            "tuned_ms": e.result.best_time * 1e3,
+            "speedup": e.speedup,
+            "n_simulated": e.n_simulated,
+            "from_cache": e.from_cache,
+            "deduped_from": e.deduped_from,
+            "best": dict(e.result.best),
+        } for e in self.entries]
+
+    def format(self, title: str = "Tuning sweep") -> str:
+        """Paper-style per-shape table of the sweep outcome."""
+        from repro.util.tables import format_table
+
+        rows = []
+        for e in self.entries:
+            provenance = "cache" if e.result.from_cache else (
+                f"dedup<-{e.deduped_from}" if e.deduped_from else "searched")
+            rows.append([
+                e.name, e.kernel,
+                (e.result.default_time or 0.0) * 1e3,
+                e.result.best_time * 1e3,
+                e.speedup, e.n_simulated, provenance,
+            ])
+        rows.append(["TOTAL", "-", "-", "-", "-", self.n_simulated,
+                     f"{self.n_from_cache}/{len(self.entries)} warm"])
+        return format_table(
+            ["shape", "kernel", "default (ms)", "tuned (ms)", "speedup",
+             "simulated", "provenance"],
+            rows, title=title)
+
+
+def _normalize(tasks: Iterable[SweepInput]) -> list[tuple[str, TuneTask]]:
+    named: list[tuple[str, TuneTask]] = []
+    seen: dict[str, int] = {}
+    for item in tasks:
+        if isinstance(item, TuneTask):
+            name, task = f"{item.kernel}:{item.shape_key}", item
+        else:
+            name, task = item
+        # keep display names unique so reports and entry() stay unambiguous
+        if name in seen:
+            seen[name] += 1
+            name = f"{name}#{seen[name]}"
+        else:
+            seen[name] = 0
+        named.append((name, task))
+    return named
+
+
+def sweep(tasks: Sequence[SweepInput], *, world: int = 8,
+          spec: HardwareSpec = H800, strategy: str = "exhaustive",
+          cache: cache_mod.TuneCache | None = None,
+          max_trials: int | None = None, seed: int = 0, slack: float = 0.0,
+          halving_scale: float = 0.25, halving_eta: int = 2,
+          progress: Callable[[str], None] | None = None) -> SweepReport:
+    """Tune a whole shape table through one shared cache.
+
+    ``tasks`` is a sequence of :class:`TuneTask` (or ``(name, task)``
+    pairs for nicer report labels); every search parameter is shared by
+    the whole sweep so the per-task cache keys stay comparable.
+    ``progress`` (e.g. ``print``) receives one line per shape as it
+    resolves.
+    """
+    named = _normalize(tasks)
+    if not named:
+        raise TunerError("sweep() needs at least one task")
+
+    memo: dict[str, tuple[str, TuneResult]] = {}
+    entries: list[SweepEntry] = []
+    for name, task in named:
+        key = task_cache_key(task, world=world, spec=spec, strategy=strategy,
+                             max_trials=max_trials, seed=seed)
+        if key in memo:
+            first_name, shared = memo[key]
+            entries.append(SweepEntry(
+                name=name, kernel=task.kernel, shape_key=task.shape_key,
+                cache_key=key, result=shared, deduped_from=first_name))
+            if progress is not None:
+                progress(f"[sweep] {name}: deduplicated (same space "
+                         f"fingerprint as {first_name})")
+            continue
+        result = tune(task, world=world, spec=spec, strategy=strategy,
+                      cache=cache, max_trials=max_trials, seed=seed,
+                      slack=slack, halving_scale=halving_scale,
+                      halving_eta=halving_eta)
+        memo[key] = (name, result)
+        entries.append(SweepEntry(
+            name=name, kernel=task.kernel, shape_key=task.shape_key,
+            cache_key=key, result=result))
+        if progress is not None:
+            provenance = ("cache" if result.from_cache
+                          else f"{result.n_simulated} simulations")
+            progress(f"[sweep] {name}: best {result.best_time * 1e3:.3f} ms "
+                     f"({provenance})")
+    return SweepReport(entries=entries)

@@ -60,6 +60,32 @@ def test_ag_gemm_channels_per_rank(rng):
     assert np.max(np.abs(got - full @ weights[0].astype(np.float32))) < 0.5
 
 
+@pytest.mark.parametrize("mode", ["dma", "pull", "push"])
+def test_ag_gemm_non_divisible_tiles_numerics(rng, mode):
+    """tiles_m % world != 0 (row tiles straddle segment boundaries): the
+    consumer's start tile rounds to the tile containing its own segment
+    and the output stays correct on every rank."""
+    m, n, k = 320, 32, 32          # per-rank rows 80, block_m 32 -> 10 tiles
+    assert (m // 32) % WORLD != 0
+    ctx = make_ctx(WORLD)
+    shards = [rng.standard_normal((m // WORLD, k)).astype(np.float16)
+              for _ in range(WORLD)]
+    weights = [rng.standard_normal((k, n)).astype(np.float16)
+               for _ in range(WORLD)]
+    ctx.bind("x", shards)
+    ctx.bind("w", weights)
+    ctx.alloc("y", (m, n), "float16")
+    cfg = AgGemmConfig(m=m, n=n, k=k, block_m=32, block_n=32, block_k=32,
+                       block_mp=16, comm_blocks=4, mode=mode)
+    ag_gemm_overlapped(ctx, cfg, "x", "w", "y", grid=16)
+    ctx.run()
+    full = np.concatenate(shards).astype(np.float32)
+    for r in range(WORLD):
+        ref = full @ weights[r].astype(np.float32)
+        got = ctx.heap.tensor("y", r).numpy().astype(np.float32)
+        assert np.max(np.abs(got - ref)) < 0.5, (mode, r)
+
+
 def test_ag_gemm_config_validation():
     with pytest.raises(ShapeError):
         AgGemmConfig(m=100, n=4, k=4).validate(8)     # M % world

@@ -196,6 +196,81 @@ def test_gemm_rs_autotune_small_shape():
 # cache
 # ---------------------------------------------------------------------------
 
+def test_cache_concurrent_writers_merge(tmp_path):
+    """Two handles on one cache file (two processes tuning different
+    kernels) must not drop each other's entries on flush."""
+    path = tmp_path / "cache.json"
+    a = TuneCache(path)
+    b = TuneCache(path)
+    # both have read (empty) state before either writes
+    assert len(a) == 0 and len(b) == 0
+    a.put("kernel-a|shape", {"block_m": 128}, 1.0)
+    # b's blind read-modify-write used to clobber a's entry here
+    b.put("kernel-b|shape", {"block_m": 256}, 2.0)
+    fresh = TuneCache(path)
+    assert "kernel-a|shape" in fresh and "kernel-b|shape" in fresh
+    # the merging writer also refreshed its own in-memory view
+    assert "kernel-a|shape" in b
+
+
+def test_cache_concurrent_processes_do_not_drop_entries(tmp_path):
+    """Real multi-process hammer: N workers each put a disjoint key into
+    one cache file concurrently; every entry must survive (flock +
+    merge-on-flush)."""
+    import multiprocessing as mp
+
+    path = tmp_path / "cache.json"
+    n, per = 4, 5
+    procs = [mp.Process(target=_cache_writer_proc, args=(str(path), w, per))
+             for w in range(n)]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=60)
+        assert p.exitcode == 0
+    final = TuneCache(path)
+    missing = [f"w{w}k{i}" for w in range(n) for i in range(per)
+               if f"w{w}k{i}" not in final]
+    assert not missing, f"lost entries: {missing}"
+
+
+def _cache_writer_proc(path: str, worker: int, per: int) -> None:
+    cache = TuneCache(path)
+    for i in range(per):
+        cache.put(f"w{worker}k{i}", {"block_m": 128}, float(worker + 1))
+
+
+def test_cache_concurrent_writers_last_put_wins_conflicts(tmp_path):
+    path = tmp_path / "cache.json"
+    a = TuneCache(path)
+    b = TuneCache(path)
+    a.put("k", {"block_m": 128}, 1.0)
+    b.put("k", {"block_m": 256}, 2.0)     # later write, same key
+    assert TuneCache(path).get("k")["best"] == {"block_m": 256}
+
+
+def test_cache_clear_does_not_resurrect_disk_entries(tmp_path):
+    """clear() must really clear — the merge-on-flush is for puts only."""
+    path = tmp_path / "cache.json"
+    TuneCache(path).put("k", {"x": 1}, 1.0)
+    wiper = TuneCache(path)
+    wiper.clear()
+    assert len(TuneCache(path)) == 0
+
+
+def test_cache_version_mismatch_reads_as_empty_and_is_replaced(tmp_path):
+    """A foreign/older on-disk version is ignored on read and not merged
+    back on write (its keys may mean something else entirely)."""
+    path = tmp_path / "cache.json"
+    path.write_text(json.dumps({"version": 999, "entries": {"old": {}}}))
+    cache = TuneCache(path)
+    assert cache.get("old") is None
+    cache.put("new", {"block_m": 64}, 3.0)
+    raw = json.loads(path.read_text())
+    assert raw["version"] == 1
+    assert "new" in raw["entries"] and "old" not in raw["entries"]
+
+
 def test_cache_roundtrip_and_corruption_tolerance(tmp_path):
     path = tmp_path / "cache.json"
     cache = TuneCache(path)
@@ -241,6 +316,69 @@ def test_capped_search_does_not_alias_full_search(tmp_path):
     weak2 = tune(small_task(), world=SMALL_WORLD, strategy="random",
                  max_trials=1, seed=3, cache=cache)
     assert weak2.from_cache and weak2.best == weak.best
+
+
+def test_search_signature_is_normalized():
+    """The key suffix must not leak Python reprs: an uncapped restricted
+    search renders ``mtall``, never ``mtNone``."""
+    from repro.tuner import search_signature
+
+    assert search_signature("exhaustive", None, 0) == ""
+    assert search_signature("exhaustive", 5, 3) == "|exhaustive-mt5-s3"
+    assert search_signature("random", None, 0) == "|random-mtall-s0"
+    assert search_signature("random", 7, 1) == "|random-mt7-s1"
+    assert search_signature("halving", None, 2) == "|halving-mtall-s2"
+    for strategy in ("exhaustive", "random", "halving"):
+        assert "None" not in search_signature(strategy, None, 0)
+
+
+def test_legacy_mtnone_keys_are_not_served(tmp_path):
+    """Migration safety: an entry stored under the old ``mtNone`` key
+    format must not alias the normalized ``mtall`` key — the search
+    re-runs and writes the normalized key."""
+    from repro.tuner import task_cache_key
+    from repro.config import H800
+
+    task = small_task()
+    cache = TuneCache(tmp_path / "cache.json")
+    new_key = task_cache_key(task, world=SMALL_WORLD, spec=H800,
+                             strategy="random", max_trials=None, seed=0)
+    assert new_key.endswith("|random-mtall-s0")
+    legacy_key = new_key.replace("mtall", "mtNone")
+    cache.put(legacy_key, {"bogus": 1}, 1e-9)     # poisoned legacy entry
+
+    res = tune(task, world=SMALL_WORLD, strategy="random", cache=cache)
+    assert not res.from_cache                      # legacy entry ignored
+    assert "bogus" not in res.best
+    assert new_key in cache                        # normalized key written
+    # and an identical rerun now hits the normalized entry
+    rerun = tune(task, world=SMALL_WORLD, strategy="random", cache=cache)
+    assert rerun.from_cache and rerun.best == res.best
+
+
+def test_tune_start_tile_non_divisible_shape():
+    """tiles_m % world != 0: the consumer start tile must round to the
+    tile containing the rank's own segment (the old formula skewed every
+    rank off its segment, defeating the tile-order optimization)."""
+    import math
+
+    # m=1536, world=4: per-rank rows 384.  The default tile (block_m=128)
+    # stays valid, while every block_m=256 candidate hits tiles_m=6 with
+    # 6 % 4 != 0 — the exact skew case the start-tile fix addresses.
+    m, world = 1536, 4
+    assert math.ceil(m / 256) % world != 0
+    space = SearchSpace(
+        axes=(Axis("block_m", (128, 256)), Axis("block_n", (128,)),
+              Axis("block_k", (64,)), Axis("block_mp", (128,)),
+              Axis("comm_blocks", (4, 20)),
+              Axis("mode", ("dma", "pull", "push"))),
+        constraint=lambda c: c["mode"] != "dma" or c["comm_blocks"] == 20)
+    task = ag_gemm_tune_task(m, 256, 256, world=world, space=space)
+    res = tune(task, world=world)
+    # the non-divisible candidates really were simulated, not rejected
+    assert any(c["block_m"] == 256 for c, _ in res.trials)
+    assert res.best_time <= res.default_time
+    res.best_config.validate(world)
 
 
 def test_halving_respects_max_trials():

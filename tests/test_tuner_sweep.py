@@ -1,0 +1,187 @@
+"""Tests for the multi-shape sweep driver and the extended kernel registry.
+
+Covers the PR's acceptance scenario: the registry includes the MoE and
+attention kernels, and ``sweep()`` over >= 3 Table-4 MoE shapes completes
+with a warm-cache rerun performing zero simulations (``from_cache=True``
+on every shape).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+# importing the zoo registers every kernel's search space
+import repro.kernels  # noqa: F401
+from repro.bench.experiments import (
+    attention_sweep_tasks,
+    mlp_sweep_tasks,
+    moe_sweep_tasks,
+)
+from repro.kernels.ag_moe import AgMoeConfig, ag_moe_tune_task
+from repro.kernels.attention import AgAttentionConfig, ag_attention_tune_task
+from repro.kernels.moe_rs import MoeRsConfig, moe_rs_tune_task
+from repro.kernels.ring_attention import ring_attention_tune_task
+from repro.models.configs import ATTENTION_BENCHES, MOE_BENCHES
+from repro.tuner import TuneCache, TunerError, get_space, registered_kernels
+from repro.tuner.sweep import sweep
+
+SMALL_WORLD = 4
+#: small MoE problem most tests tune (fast per-candidate simulation)
+SMALL_MOE = dict(m=1024, h=256, d=256, n_experts=4, topk=2)
+
+
+def small_moe_task(**kw):
+    return ag_moe_tune_task(SMALL_MOE["m"], SMALL_MOE["h"], SMALL_MOE["d"],
+                            SMALL_MOE["n_experts"], SMALL_MOE["topk"],
+                            world=SMALL_WORLD, **kw)
+
+
+# ---------------------------------------------------------------------------
+# registry: the whole kernel zoo is tunable
+# ---------------------------------------------------------------------------
+
+def test_registry_includes_moe_and_attention_kernels():
+    assert {"ag_gemm", "gemm_rs", "ag_moe", "moe_rs", "ag_attention",
+            "ring_attention"} <= set(registered_kernels())
+    moe_space = get_space("ag_moe")(8192, 2048, 192, 8, preset="small")
+    assert set(moe_space.axis_names) == {"block_m", "block_n", "block_k"}
+    attn_space = get_space("ag_attention")(32, 128, 16384, 8, preset="small")
+    assert set(attn_space.axis_names) == {"block_q", "block_kv"}
+    # the ring baseline shares the flash-tile axes
+    assert get_space("ring_attention") is get_space("ag_attention")
+
+
+def test_moe_default_configs_are_in_their_spaces():
+    for task in (small_moe_task(),
+                 moe_rs_tune_task(1024, 256, 256, 4, 2, world=SMALL_WORLD),
+                 ag_attention_tune_task(4, 64, 4096, world=SMALL_WORLD),
+                 ring_attention_tune_task(4, 64, 4096, world=SMALL_WORLD)):
+        assert task.default in list(task.space.candidates())
+
+
+def test_moe_and_attention_bounds_are_lower_bounds():
+    """Pruner soundness for the newly registered kernels: the analytic
+    bound must never exceed the simulated time."""
+    from repro.bench.harness import run_builder
+
+    tasks = (small_moe_task(),
+             moe_rs_tune_task(1024, 256, 256, 4, 2, world=SMALL_WORLD),
+             ag_attention_tune_task(4, 64, 4096, world=SMALL_WORLD),
+             ring_attention_tune_task(4, 64, 4096, world=SMALL_WORLD))
+    for task in tasks:
+        for cand in list(task.space.candidates())[:3]:
+            simulated = run_builder(task.make_builder(cand, 1.0),
+                                    world=SMALL_WORLD)
+            assert task.bound(cand) <= simulated, (task.kernel, cand)
+
+
+def test_moe_autotune_classmethods(tmp_path):
+    cache = TuneCache(tmp_path / "cache.json")
+    res1 = AgMoeConfig.autotune(**SMALL_MOE, world=SMALL_WORLD, cache=cache,
+                                full_result=True)
+    assert res1.best_time <= res1.default_time
+    assert isinstance(res1.best_config, AgMoeConfig)
+    res1.best_config.validate(SMALL_WORLD)
+
+    res2 = MoeRsConfig.autotune(**SMALL_MOE, world=SMALL_WORLD, cache=cache,
+                                full_result=True)
+    assert res2.best_time <= res2.default_time
+    assert isinstance(res2.best_config, MoeRsConfig)
+
+    # distinct router seeds must not alias in the cache
+    res3 = AgMoeConfig.autotune(**SMALL_MOE, world=SMALL_WORLD, cache=cache,
+                                router_seed=23, full_result=True)
+    assert not res3.from_cache
+
+
+def test_attention_autotune_both_kernels(tmp_path):
+    cache = TuneCache(tmp_path / "cache.json")
+    for kernel in ("ag_attention", "ring_attention"):
+        res = AgAttentionConfig.autotune(4, 64, 4096, kernel=kernel,
+                                         world=SMALL_WORLD, cache=cache,
+                                         full_result=True)
+        assert res.best_time <= res.default_time
+        assert isinstance(res.best_config, AgAttentionConfig)
+    with pytest.raises(Exception):
+        AgAttentionConfig.autotune(4, 64, 4096, kernel="warp_attention",
+                                   world=SMALL_WORLD)
+
+
+# ---------------------------------------------------------------------------
+# sweep driver
+# ---------------------------------------------------------------------------
+
+def test_sweep_rejects_empty_task_list():
+    with pytest.raises(TunerError):
+        sweep([], world=SMALL_WORLD)
+
+
+def test_sweep_deduplicates_aliasing_tasks(tmp_path):
+    """Two tasks resolving to the same cache key (same kernel, shape and
+    space fingerprint) simulate once; the alias reuses the result."""
+    cache = TuneCache(tmp_path / "cache.json")
+    tasks = [("first", small_moe_task()), ("alias", small_moe_task())]
+    report = sweep(tasks, world=SMALL_WORLD, cache=cache)
+    first, alias = report.entries
+    assert first.deduped_from is None and first.n_simulated > 0
+    assert alias.deduped_from == "first" and alias.n_simulated == 0
+    assert alias.result.best == first.result.best
+    assert report.n_deduped == 1
+    assert report.n_simulated == first.n_simulated
+
+
+def test_sweep_names_stay_unique():
+    tasks = [small_moe_task(), small_moe_task()]
+    report = sweep(tasks, world=SMALL_WORLD)
+    names = [e.name for e in report.entries]
+    assert len(set(names)) == 2
+    assert report.entry(names[1]).deduped_from == names[0]
+
+
+def test_sweep_report_rows_and_format(tmp_path):
+    cache = TuneCache(tmp_path / "cache.json")
+    tasks = moe_sweep_tasks(MOE_BENCHES[:1], world=8)
+    report = sweep(tasks, world=8, cache=cache)
+    rows = report.rows()
+    assert [r["name"] for r in rows] == ["MoE-1/ag_moe", "MoE-1/moe_rs"]
+    for row in rows:
+        assert row["tuned_ms"] > 0
+        assert row["speedup"] >= 1.0 - 1e-9
+        assert isinstance(row["best"], dict)
+    table = report.format("sweep test")
+    assert "MoE-1/ag_moe" in table and "TOTAL" in table
+    with pytest.raises(TunerError):
+        report.entry("nonexistent")
+
+
+def test_sweep_task_table_helpers():
+    assert mlp_sweep_tasks([], world=8) == []
+    attn = attention_sweep_tasks(ATTENTION_BENCHES[:1], world=8)
+    assert len(attn) == len(ATTENTION_BENCHES[0].seq_lens)
+    assert all(t.kernel == "ag_attention" for _, t in attn)
+    with pytest.raises(ValueError):
+        moe_sweep_tasks(MOE_BENCHES[:1], kernels=("bogus",), world=8)
+
+
+# ---------------------------------------------------------------------------
+# acceptance: Table-4 sweep with a zero-simulation warm rerun
+# ---------------------------------------------------------------------------
+
+def test_acceptance_table4_sweep_warm_rerun(tmp_path):
+    """sweep() over >= 3 Table-4 MoE shapes; the warm-cache rerun must do
+    zero simulations with ``from_cache=True`` on every shape."""
+    cache = TuneCache(tmp_path / "sweep.json")
+    tasks = moe_sweep_tasks(MOE_BENCHES[:3], kernels=("ag_moe",), world=8)
+    assert len(tasks) >= 3
+
+    cold = sweep(tasks, world=8, cache=cache, max_trials=1)
+    assert cold.n_simulated > 0
+    assert all(e.result.best_time <= e.result.default_time
+               for e in cold.entries)
+
+    warm = sweep(tasks, world=8, cache=cache, max_trials=1)
+    assert warm.n_simulated == 0
+    assert all(e.from_cache for e in warm.entries)
+    assert all(e.result.from_cache for e in warm.entries)
+    assert [e.result.best for e in warm.entries] == \
+        [e.result.best for e in cold.entries]

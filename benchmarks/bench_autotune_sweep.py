@@ -10,9 +10,16 @@ resolves ``from_cache=True``.  The tuned configs are then surfaced as the
 
 ``REPRO_FAST=1`` (the CI path) swaps the paper shapes for a tiny shape
 table so the ``--json`` emitter contract can be validated in seconds.
+``REPRO_SWEEP_WORKERS=N`` routes the sweep through the process-pool
+execution layer (``sweep(..., workers=N)``); ``REPRO_SWEEP_ROWS=PATH``
+additionally dumps the cold sweep's ``SweepReport.rows()`` as strict
+JSON for ``validate_bench_json.py --schema sweep``.
 """
 
 from __future__ import annotations
+
+import json
+import os
 
 from benchmarks.common import FAST, emit_json, run_once
 from repro.bench.experiments import (
@@ -25,6 +32,8 @@ from repro.models.configs import MLP_BENCHES, MOE_BENCHES, MlpShape, MoeShape
 from repro.tuner import TuneCache, sweep
 
 WORLD = 8
+#: REPRO_SWEEP_WORKERS=N fans the sweep out over a process pool.
+WORKERS = int(os.environ.get("REPRO_SWEEP_WORKERS", "0") or 0) or None
 
 #: tiny shape table (FAST/CI): same structure as Table 4, minutes -> seconds
 TINY_MOE = [
@@ -45,14 +54,23 @@ def test_autotune_sweep_table4(benchmark, tmp_path) -> None:
     tasks = moe_sweep_tasks(MOE_SHAPES, world=WORLD)
 
     report = run_once(benchmark,
-                      lambda: sweep(tasks, world=WORLD, cache=cache))
+                      lambda: sweep(tasks, world=WORLD, cache=cache,
+                                    workers=WORKERS))
     print()
     print(report.format("Autotune sweep — Table-4 MoE shapes"))
     for row in report.rows():
-        emit_json("Autotune sweep — Table 4", f"{row['name']}/default",
-                  row["default_ms"] * 1e-3)
+        if row["default_ms"] is not None:
+            emit_json("Autotune sweep — Table 4", f"{row['name']}/default",
+                      row["default_ms"] * 1e-3)
         emit_json("Autotune sweep — Table 4", f"{row['name']}/tuned",
                   row["tuned_ms"] * 1e-3)
+    rows_path = os.environ.get("REPRO_SWEEP_ROWS")
+    if rows_path:
+        with open(rows_path, "w") as fh:
+            # strict JSON: a NaN/Infinity leaking into the rows is a bug
+            # (validate_bench_json.py rejects the bare-constant form)
+            json.dump(report.rows(), fh, indent=1, sort_keys=True,
+                      allow_nan=False)
 
     assert len(report.entries) >= 3
     # tuning can only match or improve on the hand-picked point
@@ -60,7 +78,7 @@ def test_autotune_sweep_table4(benchmark, tmp_path) -> None:
                for e in report.entries)
 
     # warm rerun: the shared cache answers every shape without simulating
-    warm = sweep(tasks, world=WORLD, cache=cache)
+    warm = sweep(tasks, world=WORLD, cache=cache, workers=WORKERS)
     assert warm.n_simulated == 0
     assert all(e.from_cache for e in warm.entries)
     assert [e.result.best for e in warm.entries] == \

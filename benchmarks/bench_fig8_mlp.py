@@ -7,26 +7,24 @@ Async-TP, 1.28x over FLUX); full layer — TileLink ~1.24x, ~101% of FLUX.
 
 from __future__ import annotations
 
-from benchmarks.common import FAST, print_relative_table, run_once
+from benchmarks.common import (
+    FAST,
+    print_relative_table,
+    run_once,
+    sweep_method_times,
+)
 from repro.bench.experiments import (
     ag_gemm_builders,
     gemm_rs_builders,
     mlp_builders,
-    run_method_times,
 )
 from repro.models.configs import MLP_BENCHES
 
 SHAPES = MLP_BENCHES[:2] if FAST else MLP_BENCHES
-METHODS = ("cuBLAS+NCCL", "Async-TP", "FLUX", "TileLink")
 
 
 def _sweep(builders_fn) -> dict[str, list[float]]:
-    times: dict[str, list[float]] = {m: [] for m in METHODS}
-    for shape in SHAPES:
-        res = run_method_times(builders_fn(shape))
-        for m in METHODS:
-            times[m].append(res[m])
-    return times
+    return sweep_method_times(builders_fn, SHAPES)
 
 
 def test_fig8_ag_gemm(benchmark) -> None:
@@ -37,6 +35,8 @@ def test_fig8_ag_gemm(benchmark) -> None:
     assert gm["FLUX"] > 1.15              # fusion wins
     assert gm["TileLink"] > 1.15
     assert gm["TileLink"] / gm["FLUX"] > 0.90   # within ~10% of FLUX
+    if "TileLink-tuned" in gm:                  # warm cache resolved
+        assert gm["TileLink-tuned"] >= gm["TileLink"] * 0.999
 
 
 def test_fig8_gemm_rs(benchmark) -> None:
@@ -45,6 +45,8 @@ def test_fig8_gemm_rs(benchmark) -> None:
                               [s.name for s in SHAPES], times, "cuBLAS+NCCL")
     assert gm["TileLink"] > 1.05          # best over non-overlap
     assert gm["TileLink"] > gm["FLUX"]    # decoupled beats coupled fusion
+    if "TileLink-tuned" in gm:            # warm cache resolved
+        assert gm["TileLink-tuned"] >= gm["TileLink"] * 0.999
     assert gm["TileLink"] / gm["Async-TP"] > 1.8   # ~2.2x in the paper
 
 

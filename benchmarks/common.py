@@ -92,3 +92,21 @@ def print_relative_table(title: str, labels: Sequence[str],
 def run_once(benchmark, fn):
     """Run an experiment exactly once under pytest-benchmark."""
     return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def sweep_method_times(builders_fn, shapes) -> dict[str, list[float]]:
+    """Per-method simulated times over a whole shape table.
+
+    Keeps a column only when *every* shape produced it: the
+    TileLink-tuned column appears by default exactly when the shipped
+    warm cache (``benchmarks/warm_cache.json``) resolves the shape, so a
+    partially-covered table drops the column rather than mixing tuned
+    and absent cells.
+    """
+    from repro.bench.experiments import run_method_times
+
+    times: dict[str, list[float]] = {}
+    for shape in shapes:
+        for method, t in run_method_times(builders_fn(shape)).items():
+            times.setdefault(method, []).append(t)
+    return {m: v for m, v in times.items() if len(v) == len(shapes)}

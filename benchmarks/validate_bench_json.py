@@ -1,13 +1,24 @@
-"""Validate the machine-readable bench emitter's JSON schema.
+"""Validate the machine-readable bench emitters' JSON schemas.
 
-The ``--json PATH`` option of the benchmark suite (see
-``benchmarks/common.py``) dumps every simulated measurement as
-``{"bench": str, "config": str, "time_s": float}`` rows; successive PRs
-diff these files to track a perf trajectory.  This validator is the CI
-tripwire that keeps the contract from rotting: it fails loudly when the
-file is missing, empty, or any row drifts off schema.
+Two row shapes are covered, selected with ``--schema``:
+
+* ``bench`` (default) — the ``--json PATH`` option of the benchmark
+  suite (see ``benchmarks/common.py``) dumps every simulated measurement
+  as ``{"bench": str, "config": str, "time_s": float}`` rows; successive
+  PRs diff these files to track a perf trajectory.
+* ``sweep`` — ``SweepReport.rows()`` dumps (one object per shape) as
+  written by ``benchmarks/bench_autotune_sweep.py`` when
+  ``REPRO_SWEEP_ROWS`` is set.  A cache hit without a recorded baseline
+  carries ``default_ms``/``speedup`` as JSON ``null`` — and *only* the
+  null form: a bare ``NaN``/``Infinity`` token is not valid JSON, so the
+  file is parsed with ``parse_constant`` rejecting constants outright.
+
+This validator is the CI tripwire that keeps both contracts from
+rotting: it fails loudly when the file is missing, empty, non-strict
+JSON, or any row drifts off schema.
 
 Usage:  python benchmarks/validate_bench_json.py PATH [--min-rows N]
+                                                      [--schema bench|sweep]
 """
 
 from __future__ import annotations
@@ -15,67 +26,142 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from typing import Callable
 
-#: the exact per-row schema: field name -> required type(s)
-ROW_SCHEMA = {"bench": str, "config": str, "time_s": (int, float)}
+#: schemas: field -> tuple of allowed types; None in the tuple = nullable.
+#: bool is only accepted where it is listed explicitly (it subclasses int).
+ROW_SCHEMA = {
+    "bench": (str,),
+    "config": (str,),
+    "time_s": (int, float),
+}
+
+SWEEP_ROW_SCHEMA = {
+    "name": (str,),
+    "kernel": (str,),
+    "shape": (str,),
+    "default_ms": (int, float, None),
+    "tuned_ms": (int, float),
+    "speedup": (int, float, None),
+    "n_simulated": (int,),
+    "from_cache": (bool,),
+    "deduped_from": (str, None),
+    "best": (dict,),
+}
 
 
-def validate_rows(rows: object, min_rows: int = 1) -> list[str]:
-    """Return a list of schema violations (empty == valid)."""
+def _reject_constant(token: str) -> float:
+    raise ValueError(f"non-finite JSON constant {token!r} is not allowed; "
+                     f"emit null instead")
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _validate_against(rows: object, schema: dict[str, tuple],
+                      min_rows: int,
+                      row_check: Callable[[int, dict], list[str]]
+                      ) -> list[str]:
+    """Generic row validator: shape, unknown/missing fields, types (with
+    nullability), then ``row_check`` for per-schema value rules."""
     errors: list[str] = []
     if not isinstance(rows, list):
         return [f"top-level JSON must be a list, got {type(rows).__name__}"]
     if len(rows) < min_rows:
-        errors.append(f"expected >= {min_rows} measurement rows, "
-                      f"got {len(rows)}")
+        errors.append(f"expected >= {min_rows} rows, got {len(rows)}")
     for i, row in enumerate(rows):
         if not isinstance(row, dict):
             errors.append(f"row {i}: not an object: {row!r}")
             continue
-        extra = set(row) - set(ROW_SCHEMA)
+        extra = set(row) - set(schema)
         if extra:
             errors.append(f"row {i}: unknown fields {sorted(extra)}")
-        for field, types in ROW_SCHEMA.items():
+        for field, types in schema.items():
             if field not in row:
                 errors.append(f"row {i}: missing field {field!r}")
-            elif not isinstance(row[field], types) or \
-                    isinstance(row[field], bool):
+                continue
+            value = row[field]
+            if value is None:
+                if None not in types:
+                    errors.append(f"row {i}: field {field!r} must not be "
+                                  f"null")
+                continue
+            concrete = tuple(t for t in types if t is not None)
+            if not isinstance(value, concrete) or (
+                    isinstance(value, bool) and bool not in concrete):
                 errors.append(f"row {i}: field {field!r} has wrong type "
-                              f"{type(row[field]).__name__}")
-        if isinstance(row.get("time_s"), (int, float)) and \
-                not isinstance(row.get("time_s"), bool):
-            if not row["time_s"] > 0:
-                errors.append(f"row {i}: time_s must be positive, "
-                              f"got {row['time_s']}")
-        for field in ("bench", "config"):
-            if isinstance(row.get(field), str) and not row[field].strip():
-                errors.append(f"row {i}: field {field!r} is empty")
+                              f"{type(value).__name__}")
+        errors.extend(row_check(i, row))
     return errors
+
+
+def _bench_row_check(i: int, row: dict) -> list[str]:
+    errors = []
+    if _is_number(row.get("time_s")) and not row["time_s"] > 0:
+        errors.append(f"row {i}: time_s must be positive, "
+                      f"got {row['time_s']}")
+    for field in ("bench", "config"):
+        if isinstance(row.get(field), str) and not row[field].strip():
+            errors.append(f"row {i}: field {field!r} is empty")
+    return errors
+
+
+def _sweep_row_check(i: int, row: dict) -> list[str]:
+    errors = []
+    if _is_number(row.get("tuned_ms")) and not row["tuned_ms"] > 0:
+        errors.append(f"row {i}: tuned_ms must be positive, "
+                      f"got {row['tuned_ms']}")
+    # a missing baseline must take the null form on BOTH fields: a null
+    # default with a numeric speedup (or vice versa) means the emitter
+    # fabricated one side (the old 0.0/NaN bug)
+    if (row.get("default_ms") is None) != (row.get("speedup") is None):
+        errors.append(f"row {i}: default_ms and speedup must be null "
+                      f"together (got default_ms={row.get('default_ms')!r}"
+                      f", speedup={row.get('speedup')!r})")
+    return errors
+
+
+def validate_rows(rows: object, min_rows: int = 1) -> list[str]:
+    """Return a list of measurement-schema violations (empty == valid)."""
+    return _validate_against(rows, ROW_SCHEMA, min_rows, _bench_row_check)
+
+
+def validate_sweep_rows(rows: object, min_rows: int = 1) -> list[str]:
+    """Return a list of sweep-rows-schema violations (empty == valid)."""
+    return _validate_against(rows, SWEEP_ROW_SCHEMA, min_rows,
+                             _sweep_row_check)
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("path", help="JSON file emitted by --json")
+    parser.add_argument("path", help="JSON file emitted by --json or "
+                                     "REPRO_SWEEP_ROWS")
     parser.add_argument("--min-rows", type=int, default=1,
-                        help="minimum number of measurement rows")
+                        help="minimum number of rows")
+    parser.add_argument("--schema", choices=("bench", "sweep"),
+                        default="bench",
+                        help="row shape to validate (default: bench)")
     args = parser.parse_args(argv)
 
     try:
         with open(args.path) as fh:
-            rows = json.load(fh)
+            rows = json.load(fh, parse_constant=_reject_constant)
     except OSError as exc:
         print(f"FAIL: cannot read {args.path}: {exc}", file=sys.stderr)
         return 1
     except ValueError as exc:
-        print(f"FAIL: {args.path} is not valid JSON: {exc}", file=sys.stderr)
+        print(f"FAIL: {args.path} is not valid strict JSON: {exc}",
+              file=sys.stderr)
         return 1
 
-    errors = validate_rows(rows, min_rows=args.min_rows)
+    validate = validate_rows if args.schema == "bench" else validate_sweep_rows
+    errors = validate(rows, min_rows=args.min_rows)
     if errors:
         for err in errors:
             print(f"FAIL: {err}", file=sys.stderr)
         return 1
-    print(f"OK: {args.path} — {len(rows)} measurement rows, schema valid")
+    print(f"OK: {args.path} — {len(rows)} {args.schema} rows, schema valid")
     return 0
 
 

@@ -10,6 +10,21 @@ the whole sweep performs zero simulations: cache warm-up is paid once per
 table, after which the Figure-9 ``TileLink-tuned`` columns
 (``moe_part1_builders(..., tuned=True)``) resolve instantly.
 
+``workers=N`` fans the cold, non-aliasing tasks out over a process pool
+(``repro.tuner.parallel``): each worker tunes against its own cache file
+and the parent merges the results through the flock-protected flush, so
+the report — entry order, dedup labels, simulation counts — is identical
+to the serial run's.
+
+The repo also *ships* a warm cache: ``benchmarks/warm_cache.json`` holds
+the exhaustive winners for the full Figure-8 MLP and Table-4 MoE tables,
+which is why the Figure-8/9 benches grow a TileLink-tuned column by
+default with zero simulation at bench time.  After changing a kernel's
+search space, regenerate it (and satisfy the CI staleness check) with::
+
+    python benchmarks/refresh_warm_cache.py            # regenerate
+    python benchmarks/refresh_warm_cache.py --check    # CI tripwire
+
 Run:  python examples/autotune_sweep.py
 """
 
@@ -24,6 +39,7 @@ from repro.models.configs import MOE_BENCHES
 from repro.tuner import TuneCache, sweep
 
 WORLD = 8
+WORKERS = 2
 SHAPES = MOE_BENCHES[:3]                 # MoE-1..3 (Table 4)
 
 
@@ -33,18 +49,20 @@ def main() -> None:
     tasks = moe_sweep_tasks(SHAPES, world=WORLD)
 
     print(f"Sweeping {len(tasks)} tuning tasks over "
-          f"{', '.join(s.name for s in SHAPES)} (world={WORLD}) ...\n")
+          f"{', '.join(s.name for s in SHAPES)} "
+          f"(world={WORLD}, workers={WORKERS}) ...\n")
     t0 = time.time()
-    report = sweep(tasks, world=WORLD, cache=cache, progress=print)
+    report = sweep(tasks, world=WORLD, cache=cache, workers=WORKERS,
+                   progress=print)
     cold_wall = time.time() - t0
 
     print()
     print(report.format("Autotune sweep — Table-4 MoE shapes"))
-    print(f"\ncold sweep: {report.n_simulated} simulations, "
-          f"{cold_wall:.1f}s wall (cache: {cache_path})")
+    print(f"\ncold sweep: {report.n_simulated} simulations across "
+          f"{WORKERS} workers, {cold_wall:.1f}s wall (cache: {cache_path})")
 
     t0 = time.time()
-    warm = sweep(tasks, world=WORLD, cache=cache)
+    warm = sweep(tasks, world=WORLD, cache=cache, workers=WORKERS)
     print(f"warm rerun: {warm.n_simulated} simulations, "
           f"{warm.n_from_cache}/{len(warm.entries)} shapes from cache, "
           f"{time.time() - t0:.2f}s wall")

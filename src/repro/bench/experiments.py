@@ -6,6 +6,8 @@ Each driver returns plain dicts of simulated times so the benchmark files
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
 from typing import Callable, Sequence
 
 from repro.baselines import decompose, flux, nonoverlap, vllm_moe
@@ -40,7 +42,94 @@ from repro.models.configs import AttnShape, MlpShape, MoeShape, ModelConfig
 from repro.ops.attention import flash_attention_op
 from repro.runtime.context import DistContext
 from repro.tuner.cache import TuneCache
-from repro.tuner.search import TuneTask
+from repro.tuner.search import TuneTask, task_cache_key
+
+
+# ---------------------------------------------------------------------------
+# Shipped warm cache: makes the tuned columns the default, for free
+# ---------------------------------------------------------------------------
+# ``benchmarks/refresh_warm_cache.py`` sweeps the Figure-8 MLP and Table-4
+# MoE shape tables offline and checks the resulting cache file into the
+# repo.  When that file resolves, the ``*_builders`` below default to
+# ``tuned=True`` — the TileLink-tuned column appears in the Figure-8/9
+# tables with *zero* simulation at bench time, because every lookup is a
+# warm hit.  A builder whose task key is missing (changed space, foreign
+# spec, deleted file) silently keeps the untuned column set.
+
+#: Environment override for the shipped warm-cache location (point it at a
+#: nonexistent path to disable the tuned-by-default columns).
+ENV_WARM_CACHE = "REPRO_WARM_CACHE"
+
+
+def warm_cache_path() -> Path:
+    env = os.environ.get(ENV_WARM_CACHE)
+    if env:
+        return Path(env)
+    return (Path(__file__).resolve().parents[3] / "benchmarks"
+            / "warm_cache.json")
+
+
+def resolve_warm_cache(path: str | os.PathLike | None = None
+                       ) -> TuneCache | None:
+    """The shipped warm cache as a read-only :class:`TuneCache`, or
+    ``None`` when the file does not exist (source checkouts only ship
+    it; installed packages fall back to untuned columns)."""
+    p = Path(path) if path is not None else warm_cache_path()
+    if not p.is_file():
+        return None
+    return TuneCache(p, readonly=True)
+
+
+def _resolve_tuned(tuned: bool | None, tune_cache: TuneCache | None,
+                   make_task: Callable[[int, HardwareSpec], TuneTask],
+                   world: int, max_trials: int | None = None,
+                   ) -> tuple[bool, TuneCache | None, bool]:
+    """Resolve a builder's ``tuned=None`` default.
+
+    Auto mode turns the TileLink-tuned column on exactly when a cache (an
+    explicit ``tune_cache``, else the shipped warm cache) already holds
+    this task's entry — enabling it costs one key lookup, never a
+    simulation.  ``make_task(world, spec)`` builds the probe task.
+    Returns the resolved flag, the cache the tuned closure should
+    consult, and whether auto mode made the call (an auto-enabled column
+    must re-check the key at launch time — see :func:`_warm_at_runtime`).
+    """
+    if tuned is not None:
+        return bool(tuned), tune_cache, False
+    cache = tune_cache if tune_cache is not None else resolve_warm_cache()
+    if cache is None:
+        return False, tune_cache, False
+    key = task_cache_key(make_task(world, H800), world=world, spec=H800,
+                         max_trials=max_trials)
+    if key in cache:
+        return True, cache, True
+    return False, tune_cache, False
+
+
+def _warm_tuned_config(cache: TuneCache | None,
+                       make_task: Callable[[int, HardwareSpec], TuneTask],
+                       ctx: DistContext, max_trials: int | None = None):
+    """Resolve an *auto-enabled* tuned column straight from the cache.
+
+    The build-time probe keys on the builder's ``world`` and the default
+    H800 spec, but the closure launches against the *runtime*
+    ``ctx.world_size``/``ctx.machine.config.spec`` — if those diverged,
+    the warm key misses and ``autotune`` would silently run a full
+    search inside the timed bench.  Auto mode never simulates: this
+    returns the finalized config on a hit and ``None`` on a runtime
+    miss (callers fall back to the paper config).  Explicitly requested
+    ``tuned=True`` bypasses this and keeps autotune's tune-on-miss
+    behaviour.
+    """
+    if cache is None:
+        return None
+    spec = ctx.machine.config.spec
+    task = make_task(ctx.world_size, spec)
+    hit = cache.get(task_cache_key(task, world=ctx.world_size, spec=spec,
+                                   max_trials=max_trials))
+    if hit is None:
+        return None
+    return task.finalize(dict(hit["best"]))
 
 
 # ---------------------------------------------------------------------------
@@ -62,12 +151,20 @@ def _alloc_rs(ctx: DistContext, m: int, n: int, k: int) -> None:
 
 
 def ag_gemm_builders(shape: MlpShape, world: int = DEFAULT_WORLD, *,
-                     tuned: bool = False, tune_cache: TuneCache | None = None,
+                     tuned: bool | None = None,
+                     tune_cache: TuneCache | None = None,
                      tune_preset: str = "small",
                      tune_max_trials: int | None = None,
                      ) -> dict[str, Callable[[DistContext], None]]:
     m, k = shape.s, shape.h
     n = shape.i // world
+
+    def make_task(w: int, spec: HardwareSpec) -> TuneTask:
+        return ag_gemm_tune_task(m, n, k, world=w, spec=spec,
+                                 preset=tune_preset)
+
+    tuned, tune_cache, auto = _resolve_tuned(
+        tuned, tune_cache, make_task, world, max_trials=tune_max_trials)
 
     def non(ctx: DistContext) -> None:
         _alloc_ag(ctx, m, n, k)
@@ -90,10 +187,17 @@ def ag_gemm_builders(shape: MlpShape, world: int = DEFAULT_WORLD, *,
     if tuned:
         def tl_tuned(ctx: DistContext) -> None:
             _alloc_ag(ctx, m, n, k)
-            cfg = AgGemmConfig.autotune(
-                m, n, k, world=ctx.world_size, spec=ctx.machine.config.spec,
-                cache=tune_cache if tune_cache is not None else TuneCache(),
-                preset=tune_preset, max_trials=tune_max_trials)
+            if auto:
+                cfg = _warm_tuned_config(tune_cache, make_task, ctx,
+                                         max_trials=tune_max_trials) \
+                    or AgGemmConfig(m=m, n=n, k=k, mode="dma")
+            else:
+                cfg = AgGemmConfig.autotune(
+                    m, n, k, world=ctx.world_size,
+                    spec=ctx.machine.config.spec,
+                    cache=(tune_cache if tune_cache is not None
+                           else TuneCache()),
+                    preset=tune_preset, max_trials=tune_max_trials)
             ag_gemm_overlapped(ctx, cfg, "x", "w", "y")
 
         out["TileLink-tuned"] = tl_tuned
@@ -101,12 +205,20 @@ def ag_gemm_builders(shape: MlpShape, world: int = DEFAULT_WORLD, *,
 
 
 def gemm_rs_builders(shape: MlpShape, world: int = DEFAULT_WORLD, *,
-                     tuned: bool = False, tune_cache: TuneCache | None = None,
+                     tuned: bool | None = None,
+                     tune_cache: TuneCache | None = None,
                      tune_preset: str = "small",
                      tune_max_trials: int | None = None,
                      ) -> dict[str, Callable[[DistContext], None]]:
     m, n = shape.s, shape.h
     k = shape.i // world
+
+    def make_task(w: int, spec: HardwareSpec) -> TuneTask:
+        return gemm_rs_tune_task(m, n, k, world=w, spec=spec,
+                                 preset=tune_preset)
+
+    tuned, tune_cache, auto = _resolve_tuned(
+        tuned, tune_cache, make_task, world, max_trials=tune_max_trials)
 
     def non(ctx: DistContext) -> None:
         _alloc_rs(ctx, m, n, k)
@@ -129,10 +241,17 @@ def gemm_rs_builders(shape: MlpShape, world: int = DEFAULT_WORLD, *,
     if tuned:
         def tl_tuned(ctx: DistContext) -> None:
             _alloc_rs(ctx, m, n, k)
-            cfg = GemmRsConfig.autotune(
-                m, n, k, world=ctx.world_size, spec=ctx.machine.config.spec,
-                cache=tune_cache if tune_cache is not None else TuneCache(),
-                preset=tune_preset, max_trials=tune_max_trials)
+            if auto:
+                cfg = _warm_tuned_config(tune_cache, make_task, ctx,
+                                         max_trials=tune_max_trials) \
+                    or GemmRsConfig(m=m, n=n, k=k, mode="hybrid")
+            else:
+                cfg = GemmRsConfig.autotune(
+                    m, n, k, world=ctx.world_size,
+                    spec=ctx.machine.config.spec,
+                    cache=(tune_cache if tune_cache is not None
+                           else TuneCache()),
+                    preset=tune_preset, max_trials=tune_max_trials)
             gemm_rs_overlapped(ctx, cfg, "x", "w", "y")
 
         out["TileLink-tuned"] = tl_tuned
@@ -319,11 +438,19 @@ def _moe_setup(ctx: DistContext, shape: MoeShape, block_m: int = 128):
 
 
 def moe_part1_builders(shape: MoeShape, world: int = DEFAULT_WORLD, *,
-                       tuned: bool = False,
+                       tuned: bool | None = None,
                        tune_cache: TuneCache | None = None,
                        tune_preset: str = "small",
                        tune_max_trials: int | None = None,
                        ) -> dict[str, Callable[[DistContext], None]]:
+    def make_task(w: int, spec: HardwareSpec) -> TuneTask:
+        return ag_moe_tune_task(shape.s, shape.h, shape.i // w, shape.e,
+                                shape.topk, world=w, spec=spec,
+                                preset=tune_preset)
+
+    tuned, tune_cache, auto = _resolve_tuned(
+        tuned, tune_cache, make_task, world, max_trials=tune_max_trials)
+
     def make(impl: str) -> Callable[[DistContext], None]:
         def build(ctx: DistContext) -> None:
             p1 = None
@@ -331,14 +458,19 @@ def moe_part1_builders(shape: MoeShape, world: int = DEFAULT_WORLD, *,
             if impl == "tilelink-tuned":
                 # resolve the tuned config first: the routing granularity
                 # must follow the tuned row tile
-                p1 = AgMoeConfig.autotune(
-                    shape.s, shape.h, shape.i // ctx.world_size, shape.e,
-                    shape.topk, world=ctx.world_size,
-                    spec=ctx.machine.config.spec,
-                    cache=(tune_cache if tune_cache is not None
-                           else TuneCache()),
-                    preset=tune_preset, max_trials=tune_max_trials)
-                block_m = p1.block_m
+                if auto:
+                    p1 = _warm_tuned_config(tune_cache, make_task, ctx,
+                                            max_trials=tune_max_trials)
+                else:
+                    p1 = AgMoeConfig.autotune(
+                        shape.s, shape.h, shape.i // ctx.world_size,
+                        shape.e, shape.topk, world=ctx.world_size,
+                        spec=ctx.machine.config.spec,
+                        cache=(tune_cache if tune_cache is not None
+                               else TuneCache()),
+                        preset=tune_preset, max_trials=tune_max_trials)
+                if p1 is not None:
+                    block_m = p1.block_m
             cfg, routing = _moe_setup(ctx, shape, block_m=block_m)
             ishard = cfg.i_shard(ctx.world_size)
             ctx.alloc("x", (cfg.m // ctx.world_size, cfg.h), "float16",
@@ -370,24 +502,37 @@ def moe_part1_builders(shape: MoeShape, world: int = DEFAULT_WORLD, *,
 
 
 def moe_part2_builders(shape: MoeShape, world: int = DEFAULT_WORLD, *,
-                       tuned: bool = False,
+                       tuned: bool | None = None,
                        tune_cache: TuneCache | None = None,
                        tune_preset: str = "small",
                        tune_max_trials: int | None = None,
                        ) -> dict[str, Callable[[DistContext], None]]:
+    def make_task(w: int, spec: HardwareSpec) -> TuneTask:
+        return moe_rs_tune_task(shape.s, shape.h, shape.i // w, shape.e,
+                                shape.topk, world=w, spec=spec,
+                                preset=tune_preset)
+
+    tuned, tune_cache, auto = _resolve_tuned(
+        tuned, tune_cache, make_task, world, max_trials=tune_max_trials)
+
     def make(impl: str) -> Callable[[DistContext], None]:
         def build(ctx: DistContext) -> None:
             p2 = None
             block_m = 128
             if impl == "tilelink-tuned":
-                p2 = MoeRsConfig.autotune(
-                    shape.s, shape.h, shape.i // ctx.world_size, shape.e,
-                    shape.topk, world=ctx.world_size,
-                    spec=ctx.machine.config.spec,
-                    cache=(tune_cache if tune_cache is not None
-                           else TuneCache()),
-                    preset=tune_preset, max_trials=tune_max_trials)
-                block_m = p2.block_m
+                if auto:
+                    p2 = _warm_tuned_config(tune_cache, make_task, ctx,
+                                            max_trials=tune_max_trials)
+                else:
+                    p2 = MoeRsConfig.autotune(
+                        shape.s, shape.h, shape.i // ctx.world_size,
+                        shape.e, shape.topk, world=ctx.world_size,
+                        spec=ctx.machine.config.spec,
+                        cache=(tune_cache if tune_cache is not None
+                               else TuneCache()),
+                        preset=tune_preset, max_trials=tune_max_trials)
+                if p2 is not None:
+                    block_m = p2.block_m
             cfg, routing = _moe_setup(ctx, shape, block_m=block_m)
             ishard = cfg.i_shard(ctx.world_size)
             ctx.alloc("y", (cfg.m // ctx.world_size, cfg.h), "float32",

@@ -17,7 +17,10 @@ each:
   (kernel, shape, world size, spec fingerprint, space fingerprint);
 * :mod:`repro.tuner.sweep` — multi-shape driver tuning a whole shape
   table (Table 4, Figure 8) through one shared cache, deduplicating
-  candidate simulation across shapes that alias in key space.
+  candidate simulation across shapes that alias in key space;
+* :mod:`repro.tuner.parallel` — ``sweep(..., workers=N)`` execution
+  layer fanning the non-aliasing cold tasks out over a process pool,
+  merging per-worker cache files through the flock-protected flush.
 
 One-call API::
 
@@ -60,6 +63,7 @@ from repro.tuner.space import (
     register_space,
     registered_kernels,
 )
+from repro.tuner.parallel import parallel_sweep
 from repro.tuner.sweep import SweepEntry, SweepReport, sweep
 
 __all__ = [
@@ -68,7 +72,8 @@ __all__ = [
     "ag_attention_lower_bound", "ag_gemm_lower_bound", "ag_moe_lower_bound",
     "default_cache_path", "divisors_of", "flash_segment_floor",
     "gemm_rs_lower_bound", "gemm_wave_time", "get_space",
-    "link_transfer_time", "make_key", "moe_rs_lower_bound", "prune",
+    "link_transfer_time", "make_key", "moe_rs_lower_bound",
+    "parallel_sweep", "prune",
     "register_space", "registered_kernels", "ring_attention_lower_bound",
     "search_signature", "sweep", "task_cache_key", "tune",
 ]

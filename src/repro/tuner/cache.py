@@ -67,8 +67,13 @@ class TuneCache:
     small; durability beats batching here).
     """
 
-    def __init__(self, path: str | os.PathLike | None = None):
+    def __init__(self, path: str | os.PathLike | None = None, *,
+                 readonly: bool = False):
         self.path = Path(path) if path is not None else default_cache_path()
+        #: a read-only cache never rewrites its file — :meth:`put` still
+        #: updates the in-memory view (so a resolution path keeps working)
+        #: but nothing is flushed.  Used for shipped/checked-in caches.
+        self.readonly = readonly
         self._entries: dict[str, dict] | None = None
 
     # -- storage ------------------------------------------------------------
@@ -111,6 +116,8 @@ class TuneCache:
                 fcntl.flock(lock_fh, fcntl.LOCK_UN)
 
     def _flush(self, merge: bool = True) -> None:
+        if self.readonly:
+            return
         entries = self._load()
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with self._write_lock():
@@ -149,6 +156,36 @@ class TuneCache:
         self._load()[key] = {"best": dict(best), "time_s": float(time_s),
                              "meta": dict(meta or {})}
         self._flush()
+
+    def merge_from(self, *sources: "TuneCache | str | os.PathLike") -> int:
+        """Absorb every entry of ``sources`` (caches or cache-file paths)
+        into this cache with **one** flush; returns the number merged.
+
+        This is the parallel sweep's result funnel: each worker tunes
+        against its own cache file, and the parent folds the finished
+        files into the shared cache through the same flock-protected
+        read-merge-rename path every other write takes — one rewrite for
+        the whole batch, not one per file.  Source entries win key
+        conflicts (they are the freshest results), later sources winning
+        over earlier ones.  Only entries that are new or actually differ
+        count (and trigger the flush): re-merging identical files is a
+        free no-op.
+        """
+        entries = self._load()
+        merged = 0
+        for source in sources:
+            src = (source if isinstance(source, TuneCache)
+                   else TuneCache(source))
+            for key, entry in src._load().items():
+                if entries.get(key) != entry:
+                    entries[key] = dict(entry)
+                    merged += 1
+        if merged:
+            self._flush()
+        return merged
+
+    def keys(self) -> tuple[str, ...]:
+        return tuple(self._load())
 
     def __contains__(self, key: str) -> bool:
         return key in self._load()

@@ -1,0 +1,208 @@
+"""Parallel execution layer for multi-shape sweeps (``sweep(..., workers=N)``).
+
+A cold sweep over a paper shape table pays every candidate simulation on
+one core; the tasks are independent once deduplicated, so the sweep can
+fan out.  :func:`parallel_sweep` keeps the serial driver's exact
+semantics by splitting the work in three:
+
+1. **partition** — every task's full cache key is computed up front (the
+   same :func:`~repro.tuner.search.task_cache_key` the serial path uses);
+   tasks aliasing an earlier key never reach a worker, they share the
+   leader's result exactly as serial dedup does;
+2. **resolve warm leaders in-parent** — a key already present in the
+   shared cache is answered by a cache probe (zero simulations), so a
+   warm rerun never spawns a process;
+3. **fan out cold leaders** — a ``ProcessPoolExecutor`` (``fork`` start
+   method) tunes each remaining group.  Every group writes to its *own*
+   cache file (atomic rename, written once when the group finishes), and
+   the parent folds the finished files into the shared cache through
+   :meth:`~repro.tuner.cache.TuneCache.merge_from` — the same
+   flock-protected read-merge-rename path every other cache write takes.
+   A worker that crashes mid-group therefore cannot corrupt the shared
+   file or drop other groups' results: its file simply never exists,
+   while completed groups are merged in a ``finally`` before the failure
+   propagates.
+
+:class:`~repro.tuner.search.TuneTask` carries closures (builder
+factories, analytic bounds) that cannot cross a pickle boundary, so the
+pool inherits the task table over ``fork()`` via module state and workers
+receive only a group index.  On platforms without ``fork`` the driver
+degrades to the serial loop — same report, no parallelism.
+
+The report is assembled in task order from per-key results, so entry
+order, dedup labels and ``n_simulated`` accounting are identical to the
+serial run (``SweepReport.rows()`` compares byte-for-byte): the
+simulator is deterministic, and a cold group tunes against an empty
+private cache exactly like a cold serial task tunes against a shared
+cache that does not contain its key.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import shutil
+import tempfile
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.config import H800, HardwareSpec
+from repro.tuner import cache as cache_mod
+from repro.tuner.search import TuneResult, TuneTask, task_cache_key, tune
+from repro.tuner.space import TunerError
+
+#: Worker state inherited over ``fork()``.  ``ProcessPoolExecutor``
+#: pickles submitted call arguments, and a ``TuneTask`` holds closures
+#: that cannot be pickled, so workers look their task up here by index.
+_WORK: dict[str, Any] | None = None
+
+
+def _tune_group(index: int) -> TuneResult:
+    """Pool worker: tune one cold key group against a private cache file."""
+    assert _WORK is not None, "worker state lost (fork start method required)"
+    task: TuneTask = _WORK["tasks"][index]
+    cache = None
+    if _WORK["cache_dir"] is not None:
+        cache = cache_mod.TuneCache(
+            Path(_WORK["cache_dir"]) / f"group{index}.json")
+    return tune(task, cache=cache, **_WORK["tune_kwargs"])
+
+
+def _merge_worker_caches(cache: cache_mod.TuneCache | None,
+                         cache_dir: str | None) -> int:
+    """Fold every *finished* per-group cache file into the shared cache
+    (one flush for all of them).
+
+    Group files appear atomically when their tune completes, so this is
+    safe to run after a worker crash: partial groups have no file, and
+    the shared cache only ever sees complete entries.
+    """
+    if cache is None or cache_dir is None:
+        return 0
+    # numeric group order (not lexicographic): merge_from gives later
+    # sources precedence on key conflicts, so precedence must follow the
+    # group index, not "group10" < "group2"
+    files = sorted(Path(cache_dir).glob("group*.json"),
+                   key=lambda p: int(p.stem[len("group"):]))
+    return cache.merge_from(*files)
+
+
+def parallel_sweep(named: list[tuple[str, TuneTask]], *, world: int = 8,
+                   spec: HardwareSpec = H800, strategy: str = "exhaustive",
+                   cache: cache_mod.TuneCache | None = None,
+                   max_trials: int | None = None, seed: int = 0,
+                   slack: float = 0.0, halving_scale: float = 0.25,
+                   halving_eta: int = 2, workers: int = 2,
+                   progress: Callable[[str], None] | None = None):
+    """Run one sweep's task list with cold key groups fanned out over a
+    process pool.  Called by :func:`repro.tuner.sweep.sweep` with the
+    already-normalized ``(name, task)`` list; not meant to be invoked
+    directly."""
+    global _WORK
+    from repro.tuner.sweep import SweepEntry, SweepReport
+
+    tune_kwargs = dict(world=world, spec=spec, strategy=strategy,
+                       max_trials=max_trials, seed=seed, slack=slack,
+                       halving_scale=halving_scale, halving_eta=halving_eta)
+
+    keyed = [(name, task,
+              task_cache_key(task, world=world, spec=spec, strategy=strategy,
+                             max_trials=max_trials, seed=seed, slack=slack,
+                             halving_scale=halving_scale,
+                             halving_eta=halving_eta))
+             for name, task in named]
+
+    # -- partition: one leader per unique key, in first-occurrence order --
+    leaders: list[tuple[str, TuneTask, str]] = []
+    seen: set[str] = set()
+    for name, task, key in keyed:
+        if key not in seen:
+            seen.add(key)
+            leaders.append((name, task, key))
+
+    results: dict[str, TuneResult] = {}
+
+    # -- warm leaders: a shared-cache probe answers without simulating ----
+    cold: list[tuple[str, TuneTask, str]] = []
+    for name, task, key in leaders:
+        if cache is not None and key in cache:
+            results[key] = tune(task, cache=cache, **tune_kwargs)
+        else:
+            cold.append((name, task, key))
+
+    # -- cold leaders: fan out (or fall back to the serial loop) ----------
+    if cold and ("fork" not in multiprocessing.get_all_start_methods()
+                 or workers <= 1 or len(cold) == 1):
+        for name, task, key in cold:
+            results[key] = tune(task, cache=cache, **tune_kwargs)
+    elif cold:
+        cache_dir = (tempfile.mkdtemp(prefix="repro-sweep-workers-")
+                     if cache is not None else None)
+        _WORK = {"tasks": [task for _, task, _ in cold],
+                 "tune_kwargs": tune_kwargs, "cache_dir": cache_dir}
+        failures: list[tuple[str, BaseException]] = []
+        try:
+            with ProcessPoolExecutor(
+                    max_workers=min(workers, len(cold)),
+                    mp_context=multiprocessing.get_context("fork")) as pool:
+                futures = {pool.submit(_tune_group, i): cold[i]
+                           for i in range(len(cold))}
+                done, pending = wait(futures, return_when=FIRST_EXCEPTION)
+                if any(f.exception() is not None for f in done):
+                    # fail fast: don't let shutdown() tune the remaining
+                    # groups to completion just to discard their results
+                    for fut in pending:
+                        fut.cancel()
+                for fut, (name, _, key) in futures.items():
+                    if fut.cancelled() or not fut.done():
+                        continue
+                    exc = fut.exception()
+                    if exc is not None:
+                        failures.append((name, exc))
+                    else:
+                        results[key] = fut.result()
+        finally:
+            _WORK = None
+            try:
+                _merge_worker_caches(cache, cache_dir)
+            finally:
+                if cache_dir is not None:
+                    shutil.rmtree(cache_dir, ignore_errors=True)
+        if failures:
+            # a dead worker fails *every* unfinished future with
+            # BrokenProcessPool, so prefer a real exception (the root
+            # cause) for the re-raise; name no specific task otherwise
+            for name, exc in failures:
+                if not isinstance(exc, BrokenProcessPool):
+                    raise exc
+            names = sorted(name for name, _ in failures)
+            raise TunerError(
+                f"a sweep worker died while tuning one of {names}; "
+                f"completed groups were merged into the shared cache"
+            ) from failures[0][1]
+
+    # -- assemble in task order: identical to the serial report -----------
+    first_name: dict[str, str] = {}
+    entries: list[SweepEntry] = []
+    for name, task, key in keyed:
+        if key in first_name:
+            entries.append(SweepEntry(
+                name=name, kernel=task.kernel, shape_key=task.shape_key,
+                cache_key=key, result=results[key],
+                deduped_from=first_name[key]))
+            if progress is not None:
+                progress(f"[sweep] {name}: deduplicated (same space "
+                         f"fingerprint as {first_name[key]})")
+            continue
+        first_name[key] = name
+        result = results[key]
+        entries.append(SweepEntry(
+            name=name, kernel=task.kernel, shape_key=task.shape_key,
+            cache_key=key, result=result))
+        if progress is not None:
+            provenance = ("cache" if result.from_cache
+                          else f"{result.n_simulated} simulations")
+            progress(f"[sweep] {name}: best {result.best_time * 1e3:.3f} ms "
+                     f"({provenance})")
+    return SweepReport(entries=entries)

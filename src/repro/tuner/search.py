@@ -86,31 +86,51 @@ class TuneResult:
         return self.n_pruned / self.n_candidates if self.n_candidates else 0.0
 
 
-def search_signature(strategy: str, max_trials: int | None,
-                     seed: int) -> str:
+def search_signature(strategy: str, max_trials: int | None, seed: int,
+                     slack: float = 0.0, halving_scale: float = 0.25,
+                     halving_eta: int = 2) -> str:
     """Cache-key suffix identifying a *restricted* search.
 
-    The canonical full search (exhaustive, uncapped) keeps a bare key so
-    bench reruns and ``mode="auto"`` all share one entry; every weaker
-    search is suffixed so its possibly-weaker winner never aliases it.
-    ``max_trials=None`` renders as ``mtall`` — a normalized token, not the
-    Python repr — so e.g. an uncapped random search keys identically no
-    matter how the caller spelled the missing cap.
+    The canonical full search (exhaustive, uncapped, no prune slack) keeps
+    a bare key so bench reruns and ``mode="auto"`` all share one entry;
+    every weaker search is suffixed so its possibly-weaker winner never
+    aliases it.  *Every* result-changing search parameter is folded in:
+    ``max_trials`` (``mtall`` when uncapped — a normalized token, not the
+    Python repr), the random seed, the prune ``slack`` (a slack-loosened
+    prune can admit — and pick — a candidate the strict run never
+    simulates), and for halving the rung ``halving_scale``/``halving_eta``
+    (an aggressive scale-down ranks the rung differently and may graduate
+    a weaker finalist).  Halving keys always carry the ``hs``/``he``
+    fields, so entries stored under the pre-scale legacy format are never
+    served back (same migration stance as the ``mtNone`` cleanup).
+
+    Known limitation: a bare-key entry written by *pre-signature* code
+    running an exhaustive search with ``slack > 0`` is indistinguishable
+    from a genuine canonical entry and is still served; no in-repo
+    caller ever combined slack with a persistent cache, and re-tuning
+    (``TuneCache.clear()``) evicts such an entry if one exists.
     """
-    if strategy == "exhaustive" and max_trials is None:
+    if strategy == "exhaustive" and max_trials is None and slack == 0.0:
         return ""
     mt = "all" if max_trials is None else str(int(max_trials))
-    return f"|{strategy}-mt{mt}-s{int(seed)}"
+    sig = f"|{strategy}-mt{mt}-s{int(seed)}"
+    if slack != 0.0:
+        sig += f"-sl{float(slack):g}"
+    if strategy == "halving":
+        sig += f"-hs{float(halving_scale):g}-he{int(halving_eta)}"
+    return sig
 
 
 def task_cache_key(task: TuneTask, *, world: int, spec: HardwareSpec,
                    strategy: str = "exhaustive",
-                   max_trials: int | None = None, seed: int = 0) -> str:
+                   max_trials: int | None = None, seed: int = 0,
+                   slack: float = 0.0, halving_scale: float = 0.25,
+                   halving_eta: int = 2) -> str:
     """The exact persistent-cache key a :func:`tune` call would use."""
     return cache_mod.make_key(
         task.kernel, task.shape_key, world, spec.fingerprint(),
-        task.space.fingerprint()) + search_signature(strategy, max_trials,
-                                                     seed)
+        task.space.fingerprint()) + search_signature(
+            strategy, max_trials, seed, slack, halving_scale, halving_eta)
 
 
 def _simulate(task: TuneTask, cand: Candidate, scale: float, *,
@@ -137,7 +157,8 @@ def tune(task: TuneTask, *, world: int = 8, spec: HardwareSpec = H800,
     # The search signature is part of the key: a capped/random search must
     # not alias a later, stronger search on the same shape/spec/space.
     key = task_cache_key(task, world=world, spec=spec, strategy=strategy,
-                         max_trials=max_trials, seed=seed)
+                         max_trials=max_trials, seed=seed, slack=slack,
+                         halving_scale=halving_scale, halving_eta=halving_eta)
     if cache is not None:
         hit = cache.get(key)
         if hit is not None:

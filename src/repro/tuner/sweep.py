@@ -17,7 +17,9 @@ across shapes.  :func:`sweep` drives a list of
 * everything else flows through :func:`tune` with the shared cache, so a
   warm rerun of the whole sweep does **zero** simulations
   (``from_cache=True`` on every shape) — cache warm-up is paid once per
-  table, not once per bench invocation.
+  table, not once per bench invocation;
+* ``workers=N`` fans the cold, non-aliasing groups out over a process
+  pool (:mod:`repro.tuner.parallel`) with identical report semantics.
 
 The returned :class:`SweepReport` carries one :class:`SweepEntry` per
 task, formats as a paper-style per-shape table, and exports plain dict
@@ -27,6 +29,7 @@ rows for the machine-readable bench path
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence, Union
 
@@ -97,14 +100,22 @@ class SweepReport:
                          f"known: {[e.name for e in self.entries]}")
 
     def rows(self) -> list[dict]:
-        """Plain dict rows (one per shape) for JSON emission."""
+        """Plain dict rows (one per shape) for JSON emission.
+
+        A cache hit without a recorded ``default_time`` has no baseline:
+        ``default_ms`` and ``speedup`` are ``None`` (JSON ``null``), never
+        ``0.0``/``NaN`` — ``json.dump`` would serialise the latter as a
+        bare ``NaN`` token, which is not valid JSON and breaks strict
+        parsers of the ``--json`` bench output.
+        """
         return [{
             "name": e.name,
             "kernel": e.kernel,
             "shape": e.shape_key,
-            "default_ms": (e.result.default_time or 0.0) * 1e3,
+            "default_ms": (e.result.default_time * 1e3
+                           if e.result.default_time else None),
             "tuned_ms": e.result.best_time * 1e3,
-            "speedup": e.speedup,
+            "speedup": e.speedup if math.isfinite(e.speedup) else None,
             "n_simulated": e.n_simulated,
             "from_cache": e.from_cache,
             "deduped_from": e.deduped_from,
@@ -117,13 +128,18 @@ class SweepReport:
 
         rows = []
         for e in self.entries:
-            provenance = "cache" if e.result.from_cache else (
-                f"dedup<-{e.deduped_from}" if e.deduped_from else "searched")
+            # dedup wins over cache: a deduplicated entry shares the first
+            # task's result object, so result.from_cache alone would
+            # mislabel it and disagree with n_deduped in the TOTAL row
+            provenance = (f"dedup<-{e.deduped_from}" if e.deduped_from
+                          else "cache" if e.result.from_cache else "searched")
+            has_default = bool(e.result.default_time)
             rows.append([
                 e.name, e.kernel,
-                (e.result.default_time or 0.0) * 1e3,
+                e.result.default_time * 1e3 if has_default else "-",
                 e.result.best_time * 1e3,
-                e.speedup, e.n_simulated, provenance,
+                e.speedup if has_default else "-",
+                e.n_simulated, provenance,
             ])
         rows.append(["TOTAL", "-", "-", "-", "-", self.n_simulated,
                      f"{self.n_from_cache}/{len(self.entries)} warm"])
@@ -156,24 +172,38 @@ def sweep(tasks: Sequence[SweepInput], *, world: int = 8,
           cache: cache_mod.TuneCache | None = None,
           max_trials: int | None = None, seed: int = 0, slack: float = 0.0,
           halving_scale: float = 0.25, halving_eta: int = 2,
+          workers: int | None = None,
           progress: Callable[[str], None] | None = None) -> SweepReport:
     """Tune a whole shape table through one shared cache.
 
     ``tasks`` is a sequence of :class:`TuneTask` (or ``(name, task)``
     pairs for nicer report labels); every search parameter is shared by
     the whole sweep so the per-task cache keys stay comparable.
-    ``progress`` (e.g. ``print``) receives one line per shape as it
-    resolves.
+    ``workers=N`` (N > 1) fans the non-aliasing cold tasks out over a
+    process pool (see :mod:`repro.tuner.parallel`) with identical report
+    semantics; the default tunes serially.  ``progress`` (e.g. ``print``)
+    receives one line per shape as it resolves.
     """
     named = _normalize(tasks)
     if not named:
         raise TunerError("sweep() needs at least one task")
 
+    if workers is not None and workers > 1:
+        from repro.tuner.parallel import parallel_sweep
+
+        return parallel_sweep(
+            named, world=world, spec=spec, strategy=strategy, cache=cache,
+            max_trials=max_trials, seed=seed, slack=slack,
+            halving_scale=halving_scale, halving_eta=halving_eta,
+            workers=workers, progress=progress)
+
     memo: dict[str, tuple[str, TuneResult]] = {}
     entries: list[SweepEntry] = []
     for name, task in named:
         key = task_cache_key(task, world=world, spec=spec, strategy=strategy,
-                             max_trials=max_trials, seed=seed)
+                             max_trials=max_trials, seed=seed, slack=slack,
+                             halving_scale=halving_scale,
+                             halving_eta=halving_eta)
         if key in memo:
             first_name, shared = memo[key]
             entries.append(SweepEntry(

@@ -291,6 +291,43 @@ def test_cache_roundtrip_and_corruption_tolerance(tmp_path):
     assert raw["version"] == 1 and "a" in raw["entries"]
 
 
+def test_cache_merge_from_folds_entries_with_one_flush(tmp_path):
+    """merge_from() is the parallel sweep's result funnel: worker files
+    fold into the shared cache, source winning key conflicts."""
+    shared = TuneCache(tmp_path / "shared.json")
+    shared.put("keep", {"block_m": 128}, 1.0)
+    shared.put("conflict", {"block_m": 128}, 1.0)
+    worker = TuneCache(tmp_path / "worker.json")
+    worker.put("new", {"block_m": 256}, 2.0)
+    worker.put("conflict", {"block_m": 64}, 0.5)
+
+    other = TuneCache(tmp_path / "other.json")
+    other.put("more", {"block_m": 512}, 3.0)
+
+    # variadic: the whole batch folds in with a single flush
+    assert shared.merge_from(tmp_path / "worker.json", other) == 3
+    fresh = TuneCache(tmp_path / "shared.json")
+    assert set(fresh.keys()) == {"keep", "new", "conflict", "more"}
+    assert fresh.get("conflict")["best"] == {"block_m": 64}
+    # merging a missing/empty source is a no-op, not an error
+    assert shared.merge_from(tmp_path / "nope.json") == 0
+    assert shared.merge_from() == 0
+    # re-merging identical entries counts (and rewrites) nothing
+    assert shared.merge_from(other) == 0
+
+
+def test_cache_readonly_never_writes(tmp_path):
+    path = tmp_path / "shipped.json"
+    TuneCache(path).put("k", {"block_m": 128}, 1.0)
+    before = path.read_text()
+    ro = TuneCache(path, readonly=True)
+    assert ro.get("k") is not None
+    ro.put("k2", {"block_m": 256}, 2.0)      # visible in memory only
+    assert "k2" in ro
+    assert path.read_text() == before        # file untouched
+    assert "k2" not in TuneCache(path)
+
+
 def test_tune_cache_hit_skips_simulation(tmp_path):
     cache = TuneCache(tmp_path / "cache.json")
     first = tune(small_task(), world=SMALL_WORLD, cache=cache)
@@ -327,9 +364,83 @@ def test_search_signature_is_normalized():
     assert search_signature("exhaustive", 5, 3) == "|exhaustive-mt5-s3"
     assert search_signature("random", None, 0) == "|random-mtall-s0"
     assert search_signature("random", 7, 1) == "|random-mt7-s1"
-    assert search_signature("halving", None, 2) == "|halving-mtall-s2"
     for strategy in ("exhaustive", "random", "halving"):
         assert "None" not in search_signature(strategy, None, 0)
+
+
+def test_search_signature_folds_all_result_changing_params():
+    """slack loosens the prune, and the halving rung scale/eta pick the
+    finalists — all three change the winner, so all three key."""
+    from repro.tuner import search_signature
+
+    # halving always carries its rung parameters (legacy keys never match)
+    assert search_signature("halving", None, 2) == \
+        "|halving-mtall-s2-hs0.25-he2"
+    assert search_signature("halving", 4, 0, halving_scale=0.5,
+                            halving_eta=3) == "|halving-mt4-s0-hs0.5-he3"
+    # a slack-loosened prune never shares the strict run's key — not even
+    # the canonical bare exhaustive one
+    assert search_signature("exhaustive", None, 0, slack=0.1) == \
+        "|exhaustive-mtall-s0-sl0.1"
+    assert search_signature("random", 3, 1, slack=0.05) == \
+        "|random-mt3-s1-sl0.05"
+    # distinct parameter values produce distinct suffixes
+    sigs = {search_signature("halving", None, 0, halving_scale=s)
+            for s in (0.1, 0.25, 0.5)}
+    assert len(sigs) == 3
+
+
+def test_halving_scale_does_not_alias_other_searches(tmp_path):
+    """Acceptance regression: a halving search with non-default
+    ``halving_scale`` must not be served another run's winner — not the
+    exhaustive entry, not a differently-scaled halving entry."""
+    cache = TuneCache(tmp_path / "cache.json")
+    full = tune(small_task(), world=SMALL_WORLD, cache=cache)
+    aggressive = tune(small_task(), world=SMALL_WORLD, strategy="halving",
+                      halving_scale=0.9, cache=cache)
+    assert not aggressive.from_cache              # no alias of exhaustive
+    default_scale = tune(small_task(), world=SMALL_WORLD, strategy="halving",
+                         cache=cache)
+    assert not default_scale.from_cache           # no alias of hs=0.9 either
+    # the canonical exhaustive entry was never clobbered by the weaker runs
+    rerun = tune(small_task(), world=SMALL_WORLD, cache=cache)
+    assert rerun.from_cache and rerun.best == full.best
+    # while an identical halving request does hit its own entry
+    again = tune(small_task(), world=SMALL_WORLD, strategy="halving",
+                 halving_scale=0.9, cache=cache)
+    assert again.from_cache and again.best == aggressive.best
+
+
+def test_legacy_halving_keys_are_not_served(tmp_path):
+    """Migration safety (same stance as the ``mtNone`` cleanup): an entry
+    stored under the pre-scale halving key format must not be served to
+    the new scale-qualified key."""
+    from repro.tuner import task_cache_key
+
+    task = small_task()
+    cache = TuneCache(tmp_path / "cache.json")
+    new_key = task_cache_key(task, world=SMALL_WORLD, spec=H800,
+                             strategy="halving", max_trials=2, seed=0)
+    assert new_key.endswith("|halving-mt2-s0-hs0.25-he2")
+    legacy_key = new_key[:new_key.index("-hs")]   # old format: no rung params
+    cache.put(legacy_key, {"bogus": 1}, 1e-9)     # poisoned legacy entry
+
+    res = tune(task, world=SMALL_WORLD, strategy="halving", max_trials=2,
+               cache=cache)
+    assert not res.from_cache                      # legacy entry ignored
+    assert "bogus" not in res.best
+    assert new_key in cache                        # qualified key written
+
+
+def test_slack_does_not_alias_strict_prune(tmp_path):
+    """A slack-loosened prune caches under its own key; the strict run
+    re-searches instead of inheriting the loosened winner."""
+    cache = TuneCache(tmp_path / "cache.json")
+    loose = tune(small_task(), world=SMALL_WORLD, slack=0.25, cache=cache)
+    strict = tune(small_task(), world=SMALL_WORLD, cache=cache)
+    assert not strict.from_cache
+    assert len(cache) == 2
+    assert loose.best_time >= strict.best_time * (1 - 1e-12)
 
 
 def test_legacy_mtnone_keys_are_not_served(tmp_path):

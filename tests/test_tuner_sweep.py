@@ -163,6 +163,78 @@ def test_sweep_task_table_helpers():
         moe_sweep_tasks(MOE_BENCHES[:1], kernels=("bogus",), world=8)
 
 
+def test_format_prefers_dedup_label_over_cache(tmp_path):
+    """Regression: a deduplicated entry whose leader was a persistent-cache
+    hit used to be labelled ``cache`` (the provenance column then
+    disagreed with ``n_deduped`` in the TOTAL row)."""
+    cache = TuneCache(tmp_path / "cache.json")
+    tasks = [("first", small_moe_task()), ("alias", small_moe_task())]
+    sweep(tasks, world=SMALL_WORLD, cache=cache)        # warm the cache
+    warm = sweep(tasks, world=SMALL_WORLD, cache=cache)
+
+    first, alias = warm.entries
+    assert first.result.from_cache and alias.deduped_from == "first"
+    table = warm.format("provenance")
+    assert "dedup<-first" in table
+    assert warm.n_deduped == 1
+    # exactly one line says cache (the leader), not two
+    assert sum("| cache" in line for line in table.splitlines()) == 1
+
+
+def test_rows_emit_null_not_nan_without_default_time(tmp_path):
+    """Regression: a cache hit lacking ``default_time`` must emit
+    ``default_ms``/``speedup`` as ``None`` (JSON ``null``) — never
+    ``0.0``/``NaN``, which ``json.dump`` writes as a bare invalid token."""
+    import json
+
+    from repro.config import H800
+    from repro.tuner import task_cache_key
+
+    task = small_moe_task()
+    cache = TuneCache(tmp_path / "cache.json")
+    key = task_cache_key(task, world=SMALL_WORLD, spec=H800)
+    # a hand-written / legacy entry: winner only, no default_time meta
+    cache.put(key, {"block_m": 128, "block_n": 128, "block_k": 64}, 1e-4)
+
+    report = sweep([("legacy", task)], world=SMALL_WORLD, cache=cache)
+    row = report.rows()[0]
+    assert report.entries[0].result.from_cache
+    assert row["default_ms"] is None and row["speedup"] is None
+    assert row["tuned_ms"] > 0
+
+    def _reject(token):
+        raise AssertionError(f"bare constant {token!r} in sweep JSON")
+
+    payload = json.dumps(report.rows(), allow_nan=False)
+    parsed = json.loads(payload, parse_constant=_reject)
+    assert parsed[0]["default_ms"] is None
+
+    # the human-readable table agrees: no fabricated 0.000 ms / nan cells
+    entry_line = report.format("legacy").splitlines()[3]
+    assert "nan" not in entry_line and "0.000" not in entry_line
+    assert " - " in entry_line                  # the entry's default cell
+
+    # and the CI validator accepts exactly this null form
+    from benchmarks.validate_bench_json import validate_sweep_rows
+
+    assert validate_sweep_rows(parsed) == []
+    broken = [dict(parsed[0], default_ms=0.0)]       # the old 0.0/NaN shape
+    assert any("null together" in e for e in validate_sweep_rows(broken))
+
+
+def test_sweep_rows_validate_against_ci_schema(tmp_path):
+    """A regular cold sweep's rows pass the strict sweep schema."""
+    import json
+
+    from benchmarks.validate_bench_json import validate_sweep_rows
+
+    cache = TuneCache(tmp_path / "cache.json")
+    tasks = [("first", small_moe_task()), ("alias", small_moe_task())]
+    report = sweep(tasks, world=SMALL_WORLD, cache=cache)
+    rows = json.loads(json.dumps(report.rows(), allow_nan=False))
+    assert validate_sweep_rows(rows, min_rows=2) == []
+
+
 # ---------------------------------------------------------------------------
 # acceptance: Table-4 sweep with a zero-simulation warm rerun
 # ---------------------------------------------------------------------------

@@ -13,7 +13,10 @@ table so the ``--json`` emitter contract can be validated in seconds.
 ``REPRO_SWEEP_WORKERS=N`` routes the sweep through the process-pool
 execution layer (``sweep(..., workers=N)``); ``REPRO_SWEEP_ROWS=PATH``
 additionally dumps the cold sweep's ``SweepReport.rows()`` as strict
-JSON for ``validate_bench_json.py --schema sweep``.
+JSON for ``validate_bench_json.py --schema sweep``;
+``REPRO_SWEEP_STRATEGY=model`` (or ``random``/``halving``) swaps the
+search strategy driving the sweep — CI runs the tiny table under both
+``exhaustive`` and ``model`` and validates both JSON contracts.
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ import os
 from benchmarks.common import FAST, emit_json, run_once
 from repro.bench.experiments import (
     ag_gemm_builders,
+    mlp_sweep_tasks,
     moe_part2_builders,
     moe_sweep_tasks,
     run_method_times,
@@ -34,6 +38,8 @@ from repro.tuner import TuneCache, sweep
 WORLD = 8
 #: REPRO_SWEEP_WORKERS=N fans the sweep out over a process pool.
 WORKERS = int(os.environ.get("REPRO_SWEEP_WORKERS", "0") or 0) or None
+#: REPRO_SWEEP_STRATEGY picks the search strategy for the table sweeps.
+STRATEGY = os.environ.get("REPRO_SWEEP_STRATEGY", "exhaustive")
 
 #: tiny shape table (FAST/CI): same structure as Table 4, minutes -> seconds
 TINY_MOE = [
@@ -55,7 +61,7 @@ def test_autotune_sweep_table4(benchmark, tmp_path) -> None:
 
     report = run_once(benchmark,
                       lambda: sweep(tasks, world=WORLD, cache=cache,
-                                    workers=WORKERS))
+                                    strategy=STRATEGY, workers=WORKERS))
     print()
     print(report.format("Autotune sweep — Table-4 MoE shapes"))
     for row in report.rows():
@@ -78,11 +84,39 @@ def test_autotune_sweep_table4(benchmark, tmp_path) -> None:
                for e in report.entries)
 
     # warm rerun: the shared cache answers every shape without simulating
-    warm = sweep(tasks, world=WORLD, cache=cache, workers=WORKERS)
+    warm = sweep(tasks, world=WORLD, cache=cache, strategy=STRATEGY,
+                 workers=WORKERS)
     assert warm.n_simulated == 0
     assert all(e.from_cache for e in warm.entries)
     assert [e.result.best for e in warm.entries] == \
         [e.result.best for e in report.entries]
+
+
+def test_model_strategy_spends_fewer_simulations(benchmark, tmp_path) -> None:
+    """The model-guided strategy's whole point: strictly fewer
+    full-fidelity simulations than exhaustive over the same (tiny MLP)
+    shape table, while every shape keeps ``best_time <= default_time``."""
+    tasks = mlp_sweep_tasks([TINY_MLP], world=WORLD)
+
+    def both():
+        ex = sweep(tasks, world=WORLD, cache=TuneCache(tmp_path / "ex.json"),
+                   workers=WORKERS)
+        mo = sweep(tasks, world=WORLD, cache=TuneCache(tmp_path / "mo.json"),
+                   strategy="model", workers=WORKERS)
+        return ex, mo
+
+    ex, mo = run_once(benchmark, both)
+    print(f"\nexhaustive: {ex.n_simulated} simulations, "
+          f"model: {mo.n_simulated} simulations "
+          f"({sum(e.result.n_model_skipped for e in mo.entries)} skipped "
+          f"by the early stop)")
+    for name, t in (("exhaustive", ex), ("model", mo)):
+        for row in t.rows():
+            emit_json("Autotune strategy budget — tiny MLP",
+                      f"{row['name']}/{name}", row["tuned_ms"] * 1e-3)
+    assert mo.n_simulated < ex.n_simulated
+    assert all(e.result.best_time <= e.result.default_time
+               for e in mo.entries)
 
 
 def test_fig8_tuned_column(benchmark, tmp_path) -> None:

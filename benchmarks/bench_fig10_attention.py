@@ -3,6 +3,11 @@
 Paper shape: TileLink beats Torch (~5x average) and RingAttention (~2x
 average) at every sequence length; the overlap ratio — (comp_only +
 comm_only - overlap) / comm_only — averages 43.9%.
+
+When the shipped warm cache (``benchmarks/warm_cache.json``) resolves,
+``attention_builders`` grows a TileLink-tuned column by default — the
+Figure-10 winners run straight from the cache with zero simulation at
+bench time, exactly like the Figure-8/9 tables.
 """
 
 from __future__ import annotations
@@ -16,19 +21,20 @@ from repro.bench.experiments import (
 from repro.models.configs import ATTENTION_BENCHES
 from repro.util.stats import geomean
 
-METHODS = ("Torch", "RingAttn", "TileLink")
-
 
 def _sweep(shape) -> tuple[dict[str, list[float]], list[float], list[str]]:
     seqs = shape.seq_lens[:2] if FAST else shape.seq_lens
-    times: dict[str, list[float]] = {m: [] for m in METHODS}
+    times: dict[str, list[float]] = {}
     ratios: list[float] = []
     for seq in seqs:
         res = run_method_times(attention_builders(shape, seq))
-        for m in METHODS:
-            times[m].append(res[m])
+        for m, t in res.items():
+            times.setdefault(m, []).append(t)
         ratios.append(attention_overlap_ratio(shape, seq))
     labels = [f"{seq // 1024}k" for seq in seqs]
+    # keep a column only when every seq produced it (the tuned column
+    # appears exactly when the warm cache covers the shape)
+    times = {m: v for m, v in times.items() if len(v) == len(labels)}
     return times, ratios, labels
 
 
@@ -49,6 +55,11 @@ def _check(shape, benchmark) -> None:
     assert gm["TileLink"] / gm["RingAttn"] > 1.2   # ~2x in the paper
     # communication is meaningfully hidden
     assert all(r > 0.25 for r in ratios)
+    # the warm cache makes the tuned column the default, never slower
+    # than the paper-config TileLink column
+    if "TileLink-tuned" in times:
+        for i in range(len(labels)):
+            assert times["TileLink-tuned"][i] <= times["TileLink"][i] * 1.001
 
 
 def test_fig10_attn1(benchmark) -> None:

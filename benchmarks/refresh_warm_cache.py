@@ -1,11 +1,12 @@
 """Regenerate or staleness-check the shipped tuner warm cache.
 
 ``benchmarks/warm_cache.json`` is a checked-in :class:`repro.tuner.TuneCache`
-file holding the exhaustive-search winners for the Figure-8 MLP and
-Table-4 MoE shape tables (world=8, H800, ``preset="small"``).  When it
-resolves, the ``*_builders`` in :mod:`repro.bench.experiments` default to
-``tuned=True`` and the Figure-8/9 tables grow a TileLink-tuned column at
-zero simulation cost — every autotune call is a warm hit.
+file holding the exhaustive-search winners for the Figure-8 MLP,
+Table-4 MoE and Figure-10 attention shape tables (world=8, H800,
+``preset="small"``).  When it resolves, the ``*_builders`` in
+:mod:`repro.bench.experiments` default to ``tuned=True`` and the
+Figure-8/9/10 tables grow a TileLink-tuned column at zero simulation
+cost — every autotune call is a warm hit.
 
 Cache keys embed the hardware-spec and search-space fingerprints, so any
 change to a kernel's design space (or to ``HardwareSpec``) silently
@@ -26,9 +27,13 @@ import tempfile
 import time
 from pathlib import Path
 
-from repro.bench.experiments import mlp_sweep_tasks, moe_sweep_tasks
+from repro.bench.experiments import (
+    attention_sweep_tasks,
+    mlp_sweep_tasks,
+    moe_sweep_tasks,
+)
 from repro.config import H800
-from repro.models.configs import MLP_BENCHES, MOE_BENCHES
+from repro.models.configs import ATTENTION_BENCHES, MLP_BENCHES, MOE_BENCHES
 from repro.tuner import TuneCache, sweep, task_cache_key
 
 WORLD = 8
@@ -36,9 +41,11 @@ DEFAULT_PATH = Path(__file__).resolve().parent / "warm_cache.json"
 
 
 def expected_tasks():
-    """The task table the warm cache must cover (and nothing else)."""
+    """The task table the warm cache must cover (and nothing else):
+    Figure-8 MLP, Table-4 MoE and Figure-10 attention shapes."""
     return (mlp_sweep_tasks(MLP_BENCHES, world=WORLD)
-            + moe_sweep_tasks(MOE_BENCHES, world=WORLD))
+            + moe_sweep_tasks(MOE_BENCHES, world=WORLD)
+            + attention_sweep_tasks(ATTENTION_BENCHES, world=WORLD))
 
 
 def expected_keys() -> dict[str, str]:

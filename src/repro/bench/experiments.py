@@ -48,13 +48,14 @@ from repro.tuner.search import TuneTask, task_cache_key
 # ---------------------------------------------------------------------------
 # Shipped warm cache: makes the tuned columns the default, for free
 # ---------------------------------------------------------------------------
-# ``benchmarks/refresh_warm_cache.py`` sweeps the Figure-8 MLP and Table-4
-# MoE shape tables offline and checks the resulting cache file into the
-# repo.  When that file resolves, the ``*_builders`` below default to
-# ``tuned=True`` — the TileLink-tuned column appears in the Figure-8/9
-# tables with *zero* simulation at bench time, because every lookup is a
-# warm hit.  A builder whose task key is missing (changed space, foreign
-# spec, deleted file) silently keeps the untuned column set.
+# ``benchmarks/refresh_warm_cache.py`` sweeps the Figure-8 MLP, Table-4
+# MoE and Figure-10 attention shape tables offline and checks the
+# resulting cache file into the repo.  When that file resolves, the
+# ``*_builders`` below default to ``tuned=True`` — the TileLink-tuned
+# column appears in the Figure-8/9/10 tables with *zero* simulation at
+# bench time, because every lookup is a warm hit.  A builder whose task
+# key is missing (changed space, foreign spec, deleted file) silently
+# keeps the untuned column set.
 
 #: Environment override for the shipped warm-cache location (point it at a
 #: nonexistent path to disable the tuned-by-default columns).
@@ -596,10 +597,22 @@ def moe_layer_builders(shape: MoeShape, world: int = DEFAULT_WORLD
 # ---------------------------------------------------------------------------
 
 def attention_builders(shape: AttnShape, seq_len: int,
-                       world: int = DEFAULT_WORLD
+                       world: int = DEFAULT_WORLD, *,
+                       tuned: bool | None = None,
+                       tune_cache: TuneCache | None = None,
+                       tune_preset: str = "small",
+                       tune_max_trials: int | None = None,
                        ) -> dict[str, Callable[[DistContext], None]]:
     cfg = AgAttentionConfig(heads=shape.heads, head_dim=shape.head_dim,
                             seq_len=seq_len, causal=True)
+
+    def make_task(w: int, spec: HardwareSpec) -> TuneTask:
+        return ag_attention_tune_task(shape.heads, shape.head_dim, seq_len,
+                                      causal=True, world=w, spec=spec,
+                                      preset=tune_preset)
+
+    tuned, tune_cache, auto = _resolve_tuned(
+        tuned, tune_cache, make_task, world, max_trials=tune_max_trials)
 
     def _alloc(ctx: DistContext) -> None:
         s_per = cfg.seq_len // ctx.world_size
@@ -619,8 +632,25 @@ def attention_builders(shape: AttnShape, seq_len: int,
         _alloc(ctx)
         ag_attention_overlapped(ctx, cfg, "q", "k", "v", "o")
 
-    return {"Torch": torch_build, "RingAttn": ring_build,
-            "TileLink": tl_build}
+    out = {"Torch": torch_build, "RingAttn": ring_build,
+           "TileLink": tl_build}
+    if tuned:
+        def tl_tuned(ctx: DistContext) -> None:
+            _alloc(ctx)
+            if auto:
+                tcfg = _warm_tuned_config(tune_cache, make_task, ctx,
+                                          max_trials=tune_max_trials) or cfg
+            else:
+                tcfg = AgAttentionConfig.autotune(
+                    shape.heads, shape.head_dim, seq_len, causal=True,
+                    world=ctx.world_size, spec=ctx.machine.config.spec,
+                    cache=(tune_cache if tune_cache is not None
+                           else TuneCache()),
+                    preset=tune_preset, max_trials=tune_max_trials)
+            ag_attention_overlapped(ctx, tcfg, "q", "k", "v", "o")
+
+        out["TileLink-tuned"] = tl_tuned
+    return out
 
 
 def attention_overlap_ratio(shape: AttnShape, seq_len: int,

@@ -10,9 +10,13 @@ each:
 * :mod:`repro.tuner.costprune` — analytic lower bounds from
   :class:`repro.sim.costmodel.CostModel` + wave-quantization arithmetic
   that discard dominated candidates before any simulation runs;
-* :mod:`repro.tuner.search` — exhaustive / random / successive-halving
-  strategies executing survivors through
+* :mod:`repro.tuner.search` — exhaustive / random / successive-halving /
+  model-guided strategies executing survivors through
   :func:`repro.bench.harness.run_builder`;
+* :mod:`repro.tuner.model` — :class:`ResidualModel`, the ridge-regularized
+  per-axis residual predictor behind ``strategy="model"`` (rank before
+  you pay: refit online, simulate only while the optimistic prediction
+  beats the incumbent);
 * :mod:`repro.tuner.cache` — persistent JSON memo keyed on
   (kernel, shape, world size, spec fingerprint, space fingerprint);
 * :mod:`repro.tuner.sweep` — multi-shape driver tuning a whole shape
@@ -47,6 +51,11 @@ from repro.tuner.costprune import (
     prune,
     ring_attention_lower_bound,
 )
+from repro.tuner.model import (
+    ResidualModel,
+    model_guided_search,
+    stratified_probe_indices,
+)
 from repro.tuner.search import (
     TuneResult,
     TuneTask,
@@ -67,13 +76,14 @@ from repro.tuner.parallel import parallel_sweep
 from repro.tuner.sweep import SweepEntry, SweepReport, sweep
 
 __all__ = [
-    "Axis", "PruneResult", "SearchSpace", "SweepEntry", "SweepReport",
-    "TuneCache", "TuneResult", "TuneTask", "TunerError",
+    "Axis", "PruneResult", "ResidualModel", "SearchSpace", "SweepEntry",
+    "SweepReport", "TuneCache", "TuneResult", "TuneTask", "TunerError",
     "ag_attention_lower_bound", "ag_gemm_lower_bound", "ag_moe_lower_bound",
     "default_cache_path", "divisors_of", "flash_segment_floor",
     "gemm_rs_lower_bound", "gemm_wave_time", "get_space",
-    "link_transfer_time", "make_key", "moe_rs_lower_bound",
-    "parallel_sweep", "prune",
+    "link_transfer_time", "make_key", "model_guided_search",
+    "moe_rs_lower_bound", "parallel_sweep", "prune",
     "register_space", "registered_kernels", "ring_attention_lower_bound",
-    "search_signature", "sweep", "task_cache_key", "tune",
+    "search_signature", "stratified_probe_indices", "sweep",
+    "task_cache_key", "tune",
 ]

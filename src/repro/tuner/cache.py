@@ -34,6 +34,8 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Iterator
 
+from repro.tuner.space import TunerError
+
 try:
     import fcntl
 except ImportError:  # pragma: no cover - non-POSIX platforms
@@ -170,7 +172,15 @@ class TuneCache:
         over earlier ones.  Only entries that are new or actually differ
         count (and trigger the flush): re-merging identical files is a
         free no-op.
+
+        Merging into a ``readonly`` cache raises: ``_flush`` would
+        silently no-op while the in-memory view mutated and a positive
+        merged count told the caller the entries persisted.
         """
+        if self.readonly:
+            raise TunerError(
+                f"cannot merge into readonly cache {self.path}: the "
+                f"merged entries would never be flushed to disk")
         entries = self._load()
         merged = 0
         for source in sources:
@@ -194,6 +204,15 @@ class TuneCache:
         return len(self._load())
 
     def clear(self) -> None:
-        """Empty the cache file (no merge: clearing means clearing)."""
+        """Empty the cache file (no merge: clearing means clearing).
+
+        Clearing a ``readonly`` cache raises for the same reason merging
+        into one does: the file would keep its entries while this
+        handle's in-memory view reads empty — a silently diverged handle.
+        """
+        if self.readonly:
+            raise TunerError(
+                f"cannot clear readonly cache {self.path}: the file would "
+                f"keep its entries while this handle reads empty")
         self._entries = {}
         self._flush(merge=False)

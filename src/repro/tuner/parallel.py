@@ -49,6 +49,7 @@ from typing import Any, Callable
 
 from repro.config import H800, HardwareSpec
 from repro.tuner import cache as cache_mod
+from repro.tuner.model import DEFAULT_OPTIMISM, DEFAULT_PROBES
 from repro.tuner.search import TuneResult, TuneTask, task_cache_key, tune
 from repro.tuner.space import TunerError
 
@@ -77,8 +78,13 @@ def _merge_worker_caches(cache: cache_mod.TuneCache | None,
     Group files appear atomically when their tune completes, so this is
     safe to run after a worker crash: partial groups have no file, and
     the shared cache only ever sees complete entries.
+
+    A readonly shared cache is skipped outright: ``merge_from`` raises on
+    readonly handles (nothing would persist), and this runs in a
+    ``finally`` where raising would discard the completed report — the
+    same silent-no-persist semantics the serial path's ``put`` has.
     """
-    if cache is None or cache_dir is None:
+    if cache is None or cache_dir is None or cache.readonly:
         return 0
     # numeric group order (not lexicographic): merge_from gives later
     # sources precedence on key conflicts, so precedence must follow the
@@ -93,7 +99,9 @@ def parallel_sweep(named: list[tuple[str, TuneTask]], *, world: int = 8,
                    cache: cache_mod.TuneCache | None = None,
                    max_trials: int | None = None, seed: int = 0,
                    slack: float = 0.0, halving_scale: float = 0.25,
-                   halving_eta: int = 2, workers: int = 2,
+                   halving_eta: int = 2,
+                   model_probes: int = DEFAULT_PROBES,
+                   model_optimism: float = DEFAULT_OPTIMISM, workers: int = 2,
                    progress: Callable[[str], None] | None = None):
     """Run one sweep's task list with cold key groups fanned out over a
     process pool.  Called by :func:`repro.tuner.sweep.sweep` with the
@@ -104,13 +112,17 @@ def parallel_sweep(named: list[tuple[str, TuneTask]], *, world: int = 8,
 
     tune_kwargs = dict(world=world, spec=spec, strategy=strategy,
                        max_trials=max_trials, seed=seed, slack=slack,
-                       halving_scale=halving_scale, halving_eta=halving_eta)
+                       halving_scale=halving_scale, halving_eta=halving_eta,
+                       model_probes=model_probes,
+                       model_optimism=model_optimism)
 
     keyed = [(name, task,
               task_cache_key(task, world=world, spec=spec, strategy=strategy,
                              max_trials=max_trials, seed=seed, slack=slack,
                              halving_scale=halving_scale,
-                             halving_eta=halving_eta))
+                             halving_eta=halving_eta,
+                             model_probes=model_probes,
+                             model_optimism=model_optimism))
              for name, task in named]
 
     # -- partition: one leader per unique key, in first-occurrence order --
@@ -192,8 +204,10 @@ def parallel_sweep(named: list[tuple[str, TuneTask]], *, world: int = 8,
                 cache_key=key, result=results[key],
                 deduped_from=first_name[key]))
             if progress is not None:
-                progress(f"[sweep] {name}: deduplicated (same space "
-                         f"fingerprint as {first_name[key]})")
+                # keep this line identical to the serial driver's: dedup
+                # keys on the FULL cache key, so name the shared key
+                progress(f"[sweep] {name}: deduplicated (same cache key "
+                         f"as {first_name[key]}: {key})")
             continue
         first_name[key] = name
         result = results[key]

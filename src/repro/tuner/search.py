@@ -18,6 +18,12 @@ The pipeline a :func:`tune` call runs:
    * ``"halving"`` — successive halving: every survivor is first simulated
      on a *scaled-down* problem (rows shrunk by ``scale``), only the top
      ``1/eta`` fraction graduates to a full-size simulation;
+   * ``"model"`` — model-guided search: a :class:`repro.tuner.model.ResidualModel`
+     is trained online on the trials already paid for, re-ranks the
+     remaining survivors by predicted time, and the search stops as soon
+     as no remaining candidate's optimistic prediction beats the
+     incumbent (73 vs 200 simulations over the full Figure-8 MLP table,
+     never worse than the default);
 
 5. **cache write** — persist the winner keyed on (kernel, shape, world,
    spec fingerprint, space fingerprint).
@@ -37,6 +43,11 @@ from typing import Any, Callable
 from repro.config import H800, HardwareSpec
 from repro.tuner import cache as cache_mod
 from repro.tuner.costprune import PruneResult, prune
+from repro.tuner.model import (
+    DEFAULT_OPTIMISM,
+    DEFAULT_PROBES,
+    model_guided_search,
+)
 from repro.tuner.space import Candidate, SearchSpace, TunerError
 
 #: builder(ctx) callable accepted by repro.bench.harness.run_builder.
@@ -79,6 +90,10 @@ class TuneResult:
     n_simulated: int        # full discrete-event simulations actually run
     from_cache: bool
     strategy: str
+    #: candidates abandoned when the model strategy's early stop fired
+    #: (no remaining optimistic prediction beat the incumbent); 0 for
+    #: every other strategy and for cache hits.
+    n_model_skipped: int = 0
     trials: list[tuple[Candidate, float]] = field(default_factory=list)
 
     @property
@@ -88,7 +103,9 @@ class TuneResult:
 
 def search_signature(strategy: str, max_trials: int | None, seed: int,
                      slack: float = 0.0, halving_scale: float = 0.25,
-                     halving_eta: int = 2) -> str:
+                     halving_eta: int = 2,
+                     model_probes: int = DEFAULT_PROBES,
+                     model_optimism: float = DEFAULT_OPTIMISM) -> str:
     """Cache-key suffix identifying a *restricted* search.
 
     The canonical full search (exhaustive, uncapped, no prune slack) keeps
@@ -98,11 +115,14 @@ def search_signature(strategy: str, max_trials: int | None, seed: int,
     ``max_trials`` (``mtall`` when uncapped — a normalized token, not the
     Python repr), the random seed, the prune ``slack`` (a slack-loosened
     prune can admit — and pick — a candidate the strict run never
-    simulates), and for halving the rung ``halving_scale``/``halving_eta``
+    simulates), for halving the rung ``halving_scale``/``halving_eta``
     (an aggressive scale-down ranks the rung differently and may graduate
-    a weaker finalist).  Halving keys always carry the ``hs``/``he``
-    fields, so entries stored under the pre-scale legacy format are never
-    served back (same migration stance as the ``mtNone`` cleanup).
+    a weaker finalist), and for the model strategy the probe budget and
+    stop optimism (both move the early-stop point and therefore the
+    winner — a model-search entry must never alias an exhaustive one).
+    Halving keys always carry the ``hs``/``he`` fields, so entries stored
+    under the pre-scale legacy format are never served back (same
+    migration stance as the ``mtNone`` cleanup).
 
     Known limitation: a bare-key entry written by *pre-signature* code
     running an exhaustive search with ``slack > 0`` is indistinguishable
@@ -118,6 +138,8 @@ def search_signature(strategy: str, max_trials: int | None, seed: int,
         sig += f"-sl{float(slack):g}"
     if strategy == "halving":
         sig += f"-hs{float(halving_scale):g}-he{int(halving_eta)}"
+    if strategy == "model":
+        sig += f"-p{int(model_probes)}-o{float(model_optimism):g}"
     return sig
 
 
@@ -125,12 +147,14 @@ def task_cache_key(task: TuneTask, *, world: int, spec: HardwareSpec,
                    strategy: str = "exhaustive",
                    max_trials: int | None = None, seed: int = 0,
                    slack: float = 0.0, halving_scale: float = 0.25,
-                   halving_eta: int = 2) -> str:
+                   halving_eta: int = 2, model_probes: int = DEFAULT_PROBES,
+                   model_optimism: float = DEFAULT_OPTIMISM) -> str:
     """The exact persistent-cache key a :func:`tune` call would use."""
     return cache_mod.make_key(
         task.kernel, task.shape_key, world, spec.fingerprint(),
         task.space.fingerprint()) + search_signature(
-            strategy, max_trials, seed, slack, halving_scale, halving_eta)
+            strategy, max_trials, seed, slack, halving_scale, halving_eta,
+            model_probes, model_optimism)
 
 
 def _simulate(task: TuneTask, cand: Candidate, scale: float, *,
@@ -145,28 +169,51 @@ def _simulate(task: TuneTask, cand: Candidate, scale: float, *,
 def tune(task: TuneTask, *, world: int = 8, spec: HardwareSpec = H800,
          strategy: str = "exhaustive", cache: cache_mod.TuneCache | None = None,
          max_trials: int | None = None, seed: int = 0, slack: float = 0.0,
-         halving_scale: float = 0.25, halving_eta: int = 2) -> TuneResult:
+         halving_scale: float = 0.25, halving_eta: int = 2,
+         model_probes: int = DEFAULT_PROBES,
+         model_optimism: float = DEFAULT_OPTIMISM) -> TuneResult:
     """Autotune ``task`` and return the best configuration found.
 
     This is the subsystem's one-call API: prune with the cost model,
     search the survivors through the simulator, memoise the winner.
     """
-    if strategy not in ("exhaustive", "random", "halving"):
+    if strategy not in ("exhaustive", "random", "halving", "model"):
         raise TunerError(f"unknown search strategy {strategy!r}")
+    if strategy == "halving" and halving_eta < 2:
+        # a silently clamped eta would run a different search than the
+        # cache signature records, duplicating the he2 entry under a
+        # second key that describes a search that never ran
+        raise TunerError(f"halving_eta must be >= 2, got {halving_eta}")
+    if strategy == "model":
+        # reject upfront, before the default's full-fidelity simulation
+        # is paid (model_guided_search re-checks for its own callers)
+        if not 0.0 <= model_optimism <= 1.0:
+            raise TunerError(
+                f"model optimism must be in [0, 1], got {model_optimism}")
+        if model_probes < 1:
+            raise TunerError(
+                f"model probe count must be >= 1, got {model_probes}")
 
     # The search signature is part of the key: a capped/random search must
     # not alias a later, stronger search on the same shape/spec/space.
     key = task_cache_key(task, world=world, spec=spec, strategy=strategy,
                          max_trials=max_trials, seed=seed, slack=slack,
-                         halving_scale=halving_scale, halving_eta=halving_eta)
+                         halving_scale=halving_scale, halving_eta=halving_eta,
+                         model_probes=model_probes,
+                         model_optimism=model_optimism)
     if cache is not None:
         hit = cache.get(key)
         if hit is not None:
             best = dict(hit["best"])
+            default_time = hit.get("meta", {}).get("default_time")
             return TuneResult(
                 best=best, best_time=float(hit["time_s"]),
                 best_config=task.finalize(best),
-                default_time=hit.get("meta", {}).get("default_time"),
+                # coerce like time_s: a hand-edited or foreign cache file
+                # may carry the meta value as a JSON string, and a stringly
+                # default_time would leak into SweepReport.rows()
+                default_time=(float(default_time)
+                              if default_time is not None else None),
                 n_candidates=int(hit.get("meta", {}).get("n_candidates", 0)),
                 n_pruned=int(hit.get("meta", {}).get("n_pruned", 0)),
                 n_pruned_dynamic=0, n_simulated=0, from_cache=True,
@@ -188,6 +235,8 @@ def tune(task: TuneTask, *, world: int = 8, spec: HardwareSpec = H800,
 
     # -- pick the trial list per strategy ----------------------------------
     survivors = list(pruned.survivors)
+    n_dynamic = 0
+    n_model_skipped = 0
     if strategy == "random":
         rng = random.Random(seed)
         rng.shuffle(survivors)
@@ -201,11 +250,23 @@ def tune(task: TuneTask, *, world: int = 8, spec: HardwareSpec = H800,
                                 spec=spec)) for c in survivors]
         n_simulated += len(scored)
         scored.sort(key=lambda ct: ct[1])
-        keep = max(1, math.ceil(len(scored) / max(2, halving_eta)))
+        keep = max(1, math.ceil(len(scored) / halving_eta))
         survivors = [c for c, _ in scored[:keep]]
+    elif strategy == "model":
+        bounds = list(pruned.bounds)
+        if max_trials is not None:
+            survivors = survivors[:max_trials]
+            bounds = bounds[:max_trials]
+        incumbent, n_model_sim, n_dynamic, n_model_skipped = \
+            model_guided_search(
+                survivors, bounds, trials, incumbent,
+                lambda c: _simulate(task, c, 1.0, world=world, spec=spec),
+                task.bound, slack=slack, probes=model_probes,
+                optimism=model_optimism)
+        n_simulated += n_model_sim
+        survivors = []          # the shared full-fidelity pass has no work
 
     # -- full-fidelity pass with dynamic re-pruning ------------------------
-    n_dynamic = 0
     for cand in survivors:
         if task.bound(cand) > incumbent * (1.0 + slack):
             n_dynamic += 1
@@ -221,12 +282,13 @@ def tune(task: TuneTask, *, world: int = 8, spec: HardwareSpec = H800,
         default_time=default_time, n_candidates=len(candidates),
         n_pruned=pruned.n_pruned, n_pruned_dynamic=n_dynamic,
         n_simulated=n_simulated, from_cache=False, strategy=strategy,
-        trials=trials)
+        n_model_skipped=n_model_skipped, trials=trials)
 
     if cache is not None:
         cache.put(key, best, best_time, meta={
             "default_time": default_time, "n_candidates": len(candidates),
             "n_pruned": pruned.n_pruned, "strategy": strategy,
+            "n_simulated": n_simulated,
             "kernel": task.kernel, "shape": task.shape_key, "world": world,
         })
     return result

@@ -35,6 +35,7 @@ from typing import Callable, Iterable, Sequence, Union
 
 from repro.config import H800, HardwareSpec
 from repro.tuner import cache as cache_mod
+from repro.tuner.model import DEFAULT_OPTIMISM, DEFAULT_PROBES
 from repro.tuner.search import TuneResult, TuneTask, task_cache_key, tune
 from repro.tuner.space import TunerError
 
@@ -172,6 +173,8 @@ def sweep(tasks: Sequence[SweepInput], *, world: int = 8,
           cache: cache_mod.TuneCache | None = None,
           max_trials: int | None = None, seed: int = 0, slack: float = 0.0,
           halving_scale: float = 0.25, halving_eta: int = 2,
+          model_probes: int = DEFAULT_PROBES,
+          model_optimism: float = DEFAULT_OPTIMISM,
           workers: int | None = None,
           progress: Callable[[str], None] | None = None) -> SweepReport:
     """Tune a whole shape table through one shared cache.
@@ -195,6 +198,7 @@ def sweep(tasks: Sequence[SweepInput], *, world: int = 8,
             named, world=world, spec=spec, strategy=strategy, cache=cache,
             max_trials=max_trials, seed=seed, slack=slack,
             halving_scale=halving_scale, halving_eta=halving_eta,
+            model_probes=model_probes, model_optimism=model_optimism,
             workers=workers, progress=progress)
 
     memo: dict[str, tuple[str, TuneResult]] = {}
@@ -203,20 +207,26 @@ def sweep(tasks: Sequence[SweepInput], *, world: int = 8,
         key = task_cache_key(task, world=world, spec=spec, strategy=strategy,
                              max_trials=max_trials, seed=seed, slack=slack,
                              halving_scale=halving_scale,
-                             halving_eta=halving_eta)
+                             halving_eta=halving_eta,
+                             model_probes=model_probes,
+                             model_optimism=model_optimism)
         if key in memo:
             first_name, shared = memo[key]
             entries.append(SweepEntry(
                 name=name, kernel=task.kernel, shape_key=task.shape_key,
                 cache_key=key, result=shared, deduped_from=first_name))
             if progress is not None:
-                progress(f"[sweep] {name}: deduplicated (same space "
-                         f"fingerprint as {first_name})")
+                # dedup keys on the FULL cache key (shape, world, spec and
+                # search signature included), not just the space
+                # fingerprint — say so, and name the shared key
+                progress(f"[sweep] {name}: deduplicated (same cache key "
+                         f"as {first_name}: {key})")
             continue
         result = tune(task, world=world, spec=spec, strategy=strategy,
                       cache=cache, max_trials=max_trials, seed=seed,
                       slack=slack, halving_scale=halving_scale,
-                      halving_eta=halving_eta)
+                      halving_eta=halving_eta, model_probes=model_probes,
+                      model_optimism=model_optimism)
         memo[key] = (name, result)
         entries.append(SweepEntry(
             name=name, kernel=task.kernel, shape_key=task.shape_key,

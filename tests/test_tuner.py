@@ -183,6 +183,28 @@ def test_tune_rejects_unknown_strategy():
         tune(small_task(), world=SMALL_WORLD, strategy="simulated-annealing")
 
 
+def test_halving_eta_below_two_rejected(tmp_path):
+    """Regression: ``halving_eta=1`` used to be silently clamped to 2 at
+    search time while ``search_signature`` recorded the unclamped value —
+    an ``he1`` cache entry then described a search that never ran and
+    duplicated the ``he2`` result under a second key."""
+    from repro.tuner import search_signature
+
+    cache = TuneCache(tmp_path / "cache.json")
+    for bad_eta in (1, 0, -3):
+        with pytest.raises(TunerError, match="halving_eta"):
+            tune(small_task(), world=SMALL_WORLD, strategy="halving",
+                 halving_eta=bad_eta, cache=cache)
+    assert len(cache) == 0                        # nothing cached on reject
+    # the signature a clamped eta would have duplicated is still distinct
+    assert search_signature("halving", None, 0, halving_eta=1) != \
+        search_signature("halving", None, 0, halving_eta=2)
+    # the boundary value still runs (and really halves)
+    res = tune(small_task(), world=SMALL_WORLD, strategy="halving",
+               halving_eta=2, cache=cache)
+    assert res.best_time <= res.default_time
+
+
 def test_gemm_rs_autotune_small_shape():
     res = GemmRsConfig.autotune(1024, 512, 512, world=4, max_trials=3,
                                 full_result=True)
@@ -326,6 +348,58 @@ def test_cache_readonly_never_writes(tmp_path):
     assert "k2" in ro
     assert path.read_text() == before        # file untouched
     assert "k2" not in TuneCache(path)
+
+
+def test_cache_readonly_merge_and_clear_raise(tmp_path):
+    """Regression: merge_from() on a readonly cache used to mutate the
+    in-memory view and report a positive merged count while _flush was a
+    silent no-op — callers believed the entries persisted.  clear() had
+    the mirror-image bug (in-memory empty, file untouched)."""
+    path = tmp_path / "shipped.json"
+    TuneCache(path).put("k", {"block_m": 128}, 1.0)
+    src = TuneCache(tmp_path / "src.json")
+    src.put("new", {"block_m": 256}, 2.0)
+    before = path.read_text()
+
+    ro = TuneCache(path, readonly=True)
+    with pytest.raises(TunerError, match="readonly"):
+        ro.merge_from(src)
+    with pytest.raises(TunerError, match="readonly"):
+        ro.clear()
+    # neither the file nor the in-memory view diverged
+    assert path.read_text() == before
+    assert "new" not in ro and "k" in ro
+    # writable handles keep the full contract
+    rw = TuneCache(path)
+    assert rw.merge_from(src) == 1
+    rw.clear()
+    assert len(TuneCache(path)) == 0
+
+
+def test_cache_hit_coerces_default_time_to_float(tmp_path):
+    """Regression: a hand-edited/foreign cache file carrying
+    ``meta.default_time`` as a JSON string used to flow straight into
+    ``TuneResult.default_time`` (unlike ``time_s``), letting
+    ``SweepReport.rows()`` emit a stringly-typed ``default_ms``."""
+    from repro.tuner import task_cache_key
+    from repro.tuner.sweep import sweep as sweep_fn
+
+    task = small_task()
+    cache = TuneCache(tmp_path / "cache.json")
+    key = task_cache_key(task, world=SMALL_WORLD, spec=H800)
+    cache.put(key, dict(task.default), 1.1e-5,
+              meta={"default_time": "1.5e-5"})      # stringly, hand-edited
+
+    res = tune(task, world=SMALL_WORLD, cache=cache)
+    assert res.from_cache
+    assert isinstance(res.default_time, float)
+    assert res.default_time == pytest.approx(1.5e-5)
+    row = sweep_fn([("hit", task)], world=SMALL_WORLD, cache=cache).rows()[0]
+    assert isinstance(row["default_ms"], float)
+    # absent stays None (the null contract), never float(None)
+    cache.put(key, dict(task.default), 1.1e-5, meta={})
+    res2 = tune(task, world=SMALL_WORLD, cache=TuneCache(tmp_path / "cache.json"))
+    assert res2.from_cache and res2.default_time is None
 
 
 def test_tune_cache_hit_skips_simulation(tmp_path):

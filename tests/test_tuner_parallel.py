@@ -94,6 +94,30 @@ def test_acceptance_table4_parallel_matches_serial(tmp_path):
         [e.result.best for e in par.entries]
 
 
+@needs_fork
+def test_parallel_sweep_with_readonly_cache_matches_serial(tmp_path):
+    """Regression: the post-pool merge used to call ``merge_from`` on the
+    shared cache unconditionally — with a readonly cache (the shipped
+    warm-cache handle) that now raises, and raising inside the finally
+    would discard the completed report.  A readonly cache must instead
+    get the serial path's semantics: results returned, nothing flushed."""
+    path = tmp_path / "shipped.json"
+    seed_tasks = [("a", small_moe_task()),
+                  ("b", small_moe_task(m=2048))]
+    sweep(seed_tasks, world=SMALL_WORLD, cache=TuneCache(path))
+    before = path.read_text()
+
+    ro = TuneCache(path, readonly=True)
+    # one warm leader + one cold group exercises both resolution paths
+    tasks = seed_tasks + [("cold", moe_rs_tune_task(1024, 256, 256, 4, 2,
+                                                    world=SMALL_WORLD))]
+    report = sweep(tasks, world=SMALL_WORLD, cache=ro, workers=2)
+    assert [e.name for e in report.entries] == ["a", "b", "cold"]
+    assert report.entries[0].from_cache and report.entries[1].from_cache
+    assert report.entries[2].result.n_simulated > 0
+    assert path.read_text() == before       # file untouched
+
+
 def test_single_cold_group_runs_inline(tmp_path):
     """One cold key group needs no pool: workers=8 must still resolve."""
     cache = TuneCache(tmp_path / "c.json")

@@ -130,6 +130,24 @@ def test_sweep_deduplicates_aliasing_tasks(tmp_path):
     assert report.n_simulated == first.n_simulated
 
 
+def test_sweep_dedup_progress_names_the_full_cache_key(tmp_path):
+    """Regression: the dedup progress line claimed "same space fingerprint
+    as X" although dedup keys on the *full* cache key (shape, world, spec
+    and search signature included) — the message now says so and surfaces
+    the shared key."""
+    cache = TuneCache(tmp_path / "cache.json")
+    tasks = [("first", small_moe_task()), ("alias", small_moe_task())]
+    lines: list[str] = []
+    report = sweep(tasks, world=SMALL_WORLD, cache=cache,
+                   progress=lines.append)
+    dedup_lines = [l for l in lines if "deduplicated" in l]
+    assert len(dedup_lines) == 1
+    # the corrected message: full cache key, not "space fingerprint"
+    assert "space fingerprint" not in dedup_lines[0]
+    assert "same cache key as first" in dedup_lines[0]
+    assert report.entries[1].cache_key in dedup_lines[0]
+
+
 def test_sweep_names_stay_unique():
     tasks = [small_moe_task(), small_moe_task()]
     report = sweep(tasks, world=SMALL_WORLD)

@@ -4,11 +4,17 @@ Paper shape: average TileLink speedup over the PyTorch baseline 1.32x on
 one node (dense models ~1.20x, MoE models ~1.54x) and 1.29x on two nodes
 (slightly lower — the added inter-node cost dilutes both systems
 equally).
+
+``REPRO_FIG11_TUNED=1`` opts into a third column resolving each
+overlappable op through the shipped warm tuner cache
+(``method="tilelink-tuned"``) — a pure lookup, so ops whose e2e shapes
+the shipped sweep does not cover simply keep the paper config.
 """
 
 from __future__ import annotations
 
 from benchmarks.common import FAST, print_relative_table, run_once
+from repro.bench.harness import env_flag
 from repro.models.configs import E2E_MODELS
 from repro.models.runner import e2e_model_time
 from repro.util.stats import geomean
@@ -16,14 +22,18 @@ from repro.util.stats import geomean
 MODELS = ([m for m in E2E_MODELS if m.name in ("LLaMA2-7B", "Mixtral-8x7B")]
           if FAST else E2E_MODELS)
 
+#: opt-in warm-cache-resolved column (label -> runner method)
+COLUMNS = {"Torch": "torch", "TileLink": "tilelink"}
+if env_flag("REPRO_FIG11_TUNED"):
+    COLUMNS["TileLink-tuned"] = "tilelink-tuned"
+
 
 def _sweep(n_nodes: int) -> dict[str, list[float]]:
-    times: dict[str, list[float]] = {"Torch": [], "TileLink": []}
+    times: dict[str, list[float]] = {label: [] for label in COLUMNS}
     for model in MODELS:
-        times["Torch"].append(
-            e2e_model_time(model, "torch", n_nodes=n_nodes))
-        times["TileLink"].append(
-            e2e_model_time(model, "tilelink", n_nodes=n_nodes))
+        for label, method in COLUMNS.items():
+            times[label].append(
+                e2e_model_time(model, method, n_nodes=n_nodes))
     return times
 
 
@@ -44,6 +54,10 @@ def test_fig11_single_node(benchmark) -> None:
           if moe else "")
     assert all(s > 1.0 for s in speedups)       # TileLink wins everywhere
     assert geomean(speedups) > 1.1
+    if "TileLink-tuned" in times:
+        # warm-resolved configs can only match or beat the paper configs
+        assert all(tu <= tl * 1.001 for tu, tl in
+                   zip(times["TileLink-tuned"], times["TileLink"]))
     if moe:
         # MoE models gain at least comparably to dense ones (the paper's
         # 1.54x vs 1.20x gap additionally reflects an eager-PyTorch MoE

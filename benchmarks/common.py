@@ -13,11 +13,13 @@ import json
 import os
 from collections.abc import Mapping, Sequence
 
+from repro.bench.harness import env_flag
 from repro.util.stats import geomean
 from repro.util.tables import format_table
 
-#: REPRO_FAST=1 trims sweeps for quick iteration.
-FAST = os.environ.get("REPRO_FAST", "0") not in ("0", "", "false")
+#: REPRO_FAST=1 trims sweeps for quick iteration (parsed
+#: case-insensitively — ``REPRO_FAST=False`` stays off).
+FAST = env_flag("REPRO_FAST")
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,142 @@
+"""Regenerate or staleness-check the shipped serving latency table.
+
+``benchmarks/latency_table.json`` is a checked-in
+:class:`repro.serve.latency.StepLatencyTable` holding the per-layer
+step-latency ladders the serving benchmark interpolates: one entry per
+(model, method) over the serving roster — the Figure-11 FAST pair
+(LLaMA2-7B dense, Mixtral-8x7B MoE) x (torch, tilelink, tilelink-tuned)
+at world=8 on H800.  With the table shipped, ``bench_serving.py`` prices
+millions of requests without a single ``build_layer`` simulation.
+
+Entry keys embed the architecture fields, the method, the world size,
+the seed and ``HardwareSpec.fingerprint()`` — so a change to the
+hardware model (or the roster) silently orphans the shipped entries.
+``--check`` recomputes every expected key from the *current* code and
+fails when the file drifted; CI runs it so such a change cannot land
+without a refresh:
+
+    python benchmarks/refresh_latency_table.py --check      # CI tripwire
+    python benchmarks/refresh_latency_table.py              # regenerate
+
+A cold refresh simulates ``len(DEFAULT_BUCKETS)`` (= 8) ``build_layer``
+points per (model, method) — well under a minute of wall time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.config import H800
+from repro.models.configs import E2E_MODELS, ModelConfig
+from repro.serve.latency import (
+    DEFAULT_BUCKETS,
+    StepLatencyTable,
+    entry_key,
+)
+
+WORLD = 8
+SEED = 0
+METHODS = ("torch", "tilelink", "tilelink-tuned")
+#: the serving roster: one dense + one MoE model (the Figure-11 FAST pair)
+MODEL_NAMES = ("LLaMA2-7B", "Mixtral-8x7B")
+DEFAULT_PATH = Path(__file__).resolve().parent / "latency_table.json"
+
+
+def serving_models() -> list[ModelConfig]:
+    by_name = {m.name: m for m in E2E_MODELS}
+    return [by_name[n] for n in MODEL_NAMES]
+
+
+def expected_entries() -> list[tuple[str, ModelConfig, str]]:
+    """(label, model, method) triples the table must cover, exactly."""
+    return [(f"{model.name}/{method}", model, method)
+            for model in serving_models() for method in METHODS]
+
+
+def expected_keys() -> dict[str, str]:
+    return {label: entry_key(model, method, WORLD, H800, SEED)
+            for label, model, method in expected_entries()}
+
+
+def check(path: Path) -> int:
+    if not path.is_file():
+        print(f"STALE: {path} does not exist — run "
+              f"`python benchmarks/refresh_latency_table.py`",
+              file=sys.stderr)
+        return 1
+    table = StepLatencyTable(path, readonly=True)
+    expected = expected_keys()
+    missing = sorted(label for label, key in expected.items()
+                     if key not in table.keys())
+    extra = sorted(set(table.keys()) - set(expected.values()))
+    stale_buckets = sorted(
+        label for label, key in expected.items()
+        if key in table.keys()
+        and list((table.entry(key) or {}).get("buckets", ())) !=
+        list(DEFAULT_BUCKETS))
+    if missing or extra or stale_buckets:
+        for label in missing:
+            print(f"STALE: no entry for {label} (spec fingerprint or "
+                  f"roster changed?)", file=sys.stderr)
+        for key in extra:
+            print(f"STALE: orphaned entry {key}", file=sys.stderr)
+        for label in stale_buckets:
+            print(f"STALE: {label} was built on a different bucket "
+                  f"ladder than {list(DEFAULT_BUCKETS)}", file=sys.stderr)
+        print(f"STALE: refresh with "
+              f"`python benchmarks/refresh_latency_table.py`",
+              file=sys.stderr)
+        return 1
+    print(f"OK: {path} — {len(expected)} entries match the current "
+          f"roster/spec fingerprints")
+    return 0
+
+
+def refresh(path: Path) -> int:
+    entries = expected_entries()
+    print(f"Refreshing {path}: {len(entries)} entries x "
+          f"{len(DEFAULT_BUCKETS)} buckets (world={WORLD}) ...")
+    # build into a fresh sibling file, then atomically replace the
+    # target: a refreshed table contains exactly the expected entries.
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent), prefix=path.name,
+                               suffix=".tmp")
+    os.close(fd)
+    os.unlink(tmp)          # the table wants to create the file itself
+    try:
+        t0 = time.time()
+        table = StepLatencyTable(tmp)
+        for label, model, method in entries:
+            print(f"  {label} ...")
+            table.ensure(model, method, world=WORLD, seed=SEED,
+                         buckets=DEFAULT_BUCKETS)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+    print(f"{len(entries) * len(DEFAULT_BUCKETS)} simulations, "
+          f"{time.time() - t0:.1f}s wall -> {path}")
+    return check(path)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--check", action="store_true",
+                        help="verify the shipped table against the current "
+                             "roster/spec instead of regenerating")
+    parser.add_argument("--out", type=Path, default=DEFAULT_PATH,
+                        help=f"table file to write/check "
+                             f"(default: {DEFAULT_PATH})")
+    args = parser.parse_args(argv)
+    if args.check:
+        return check(args.out)
+    return refresh(args.out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,6 @@
 """Validate the machine-readable bench emitters' JSON schemas.
 
-Two row shapes are covered, selected with ``--schema``:
+Three row shapes are covered, selected with ``--schema``:
 
 * ``bench`` (default) — the ``--json PATH`` option of the benchmark
   suite (see ``benchmarks/common.py``) dumps every simulated measurement
@@ -12,13 +12,18 @@ Two row shapes are covered, selected with ``--schema``:
   carries ``default_ms``/``speedup`` as JSON ``null`` — and *only* the
   null form: a bare ``NaN``/``Infinity`` token is not valid JSON, so the
   file is parsed with ``parse_constant`` rejecting constants outright.
+* ``serving`` — ``ServingReport.row()`` dumps (one object per
+  (scenario, method) cell) as written by ``benchmarks/bench_serving.py``
+  when ``REPRO_SERVE_ROWS`` is set: throughput, TTFT/TPOT percentiles,
+  queue depth and SLO attainment.  TPOT is ``null`` (on *both*
+  percentile fields) exactly when no request ever decoded.
 
-This validator is the CI tripwire that keeps both contracts from
+This validator is the CI tripwire that keeps the contracts from
 rotting: it fails loudly when the file is missing, empty, non-strict
 JSON, or any row drifts off schema.
 
 Usage:  python benchmarks/validate_bench_json.py PATH [--min-rows N]
-                                                      [--schema bench|sweep]
+                                            [--schema bench|sweep|serving]
 """
 
 from __future__ import annotations
@@ -47,6 +52,23 @@ SWEEP_ROW_SCHEMA = {
     "from_cache": (bool,),
     "deduped_from": (str, None),
     "best": (dict,),
+}
+
+SERVING_ROW_SCHEMA = {
+    "scenario": (str,),
+    "method": (str,),
+    "policy": (str,),
+    "n_requests": (int,),
+    "makespan_s": (int, float),
+    "throughput_rps": (int, float),
+    "output_tok_per_s": (int, float),
+    "ttft_p50_s": (int, float),
+    "ttft_p99_s": (int, float),
+    "tpot_p50_s": (int, float, None),
+    "tpot_p99_s": (int, float, None),
+    "queue_depth_p50": (int, float),
+    "queue_depth_max": (int,),
+    "slo_attainment": (int, float),
 }
 
 
@@ -122,6 +144,29 @@ def _sweep_row_check(i: int, row: dict) -> list[str]:
     return errors
 
 
+def _serving_row_check(i: int, row: dict) -> list[str]:
+    errors = []
+    for field in ("scenario", "method", "policy"):
+        if isinstance(row.get(field), str) and not row[field].strip():
+            errors.append(f"row {i}: field {field!r} is empty")
+    for field in ("n_requests", "makespan_s", "throughput_rps",
+                  "output_tok_per_s", "ttft_p50_s", "ttft_p99_s"):
+        if _is_number(row.get(field)) and not row[field] > 0:
+            errors.append(f"row {i}: field {field!r} must be positive, "
+                          f"got {row[field]}")
+    if _is_number(row.get("slo_attainment")) and \
+            not 0.0 <= row["slo_attainment"] <= 1.0:
+        errors.append(f"row {i}: slo_attainment must be in [0, 1], "
+                      f"got {row['slo_attainment']}")
+    # TPOT is null exactly when no request decoded — on both fields, or
+    # the emitter fabricated one side
+    if (row.get("tpot_p50_s") is None) != (row.get("tpot_p99_s") is None):
+        errors.append(f"row {i}: tpot_p50_s and tpot_p99_s must be null "
+                      f"together (got {row.get('tpot_p50_s')!r}, "
+                      f"{row.get('tpot_p99_s')!r})")
+    return errors
+
+
 def validate_rows(rows: object, min_rows: int = 1) -> list[str]:
     """Return a list of measurement-schema violations (empty == valid)."""
     return _validate_against(rows, ROW_SCHEMA, min_rows, _bench_row_check)
@@ -133,13 +178,19 @@ def validate_sweep_rows(rows: object, min_rows: int = 1) -> list[str]:
                              _sweep_row_check)
 
 
+def validate_serving_rows(rows: object, min_rows: int = 1) -> list[str]:
+    """Return a list of serving-rows-schema violations (empty == valid)."""
+    return _validate_against(rows, SERVING_ROW_SCHEMA, min_rows,
+                             _serving_row_check)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("path", help="JSON file emitted by --json or "
                                      "REPRO_SWEEP_ROWS")
     parser.add_argument("--min-rows", type=int, default=1,
                         help="minimum number of rows")
-    parser.add_argument("--schema", choices=("bench", "sweep"),
+    parser.add_argument("--schema", choices=("bench", "sweep", "serving"),
                         default="bench",
                         help="row shape to validate (default: bench)")
     args = parser.parse_args(argv)
@@ -155,7 +206,8 @@ def main(argv: list[str] | None = None) -> int:
               file=sys.stderr)
         return 1
 
-    validate = validate_rows if args.schema == "bench" else validate_sweep_rows
+    validate = {"bench": validate_rows, "sweep": validate_sweep_rows,
+                "serving": validate_serving_rows}[args.schema]
     errors = validate(rows, min_rows=args.min_rows)
     if errors:
         for err in errors:

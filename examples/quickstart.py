@@ -77,6 +77,9 @@ def main() -> None:
         title=f"AG+GEMM, M={M} N={N} K={K}, {WORLD} simulated H800s"))
     print("\nTileLink hides the AllGather under the GEMM: the overlapped "
           "time approaches max(comm, compute).")
+    print("Next stop: python examples/serving.py — the same kernels "
+          "composed into a continuous-batching server under heavy "
+          "traffic (throughput / TTFT / SLO curves).")
 
 
 if __name__ == "__main__":

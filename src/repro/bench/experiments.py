@@ -6,8 +6,6 @@ Each driver returns plain dicts of simulated times so the benchmark files
 
 from __future__ import annotations
 
-import os
-from pathlib import Path
 from typing import Callable, Sequence
 
 from repro.baselines import decompose, flux, nonoverlap, vllm_moe
@@ -43,6 +41,12 @@ from repro.ops.attention import flash_attention_op
 from repro.runtime.context import DistContext
 from repro.tuner.cache import TuneCache
 from repro.tuner.search import TuneTask, task_cache_key
+from repro.tuner.warm import (  # noqa: F401  (re-exported API)
+    ENV_WARM_CACHE,
+    resolve_warm_cache,
+    warm_cache_path,
+    warm_tuned_config,
+)
 
 
 # ---------------------------------------------------------------------------
@@ -56,29 +60,12 @@ from repro.tuner.search import TuneTask, task_cache_key
 # bench time, because every lookup is a warm hit.  A builder whose task
 # key is missing (changed space, foreign spec, deleted file) silently
 # keeps the untuned column set.
-
-#: Environment override for the shipped warm-cache location (point it at a
-#: nonexistent path to disable the tuned-by-default columns).
-ENV_WARM_CACHE = "REPRO_WARM_CACHE"
-
-
-def warm_cache_path() -> Path:
-    env = os.environ.get(ENV_WARM_CACHE)
-    if env:
-        return Path(env)
-    return (Path(__file__).resolve().parents[3] / "benchmarks"
-            / "warm_cache.json")
-
-
-def resolve_warm_cache(path: str | os.PathLike | None = None
-                       ) -> TuneCache | None:
-    """The shipped warm cache as a read-only :class:`TuneCache`, or
-    ``None`` when the file does not exist (source checkouts only ship
-    it; installed packages fall back to untuned columns)."""
-    p = Path(path) if path is not None else warm_cache_path()
-    if not p.is_file():
-        return None
-    return TuneCache(p, readonly=True)
+#
+# The file location and the hit-or-None resolution step live in
+# :mod:`repro.tuner.warm` (the end-to-end runner's
+# ``method="tilelink-tuned"`` shares them); they are re-exported here
+# because this module is where bench-side consumers historically found
+# them.
 
 
 def _resolve_tuned(tuned: bool | None, tune_cache: TuneCache | None,
@@ -125,12 +112,9 @@ def _warm_tuned_config(cache: TuneCache | None,
     if cache is None:
         return None
     spec = ctx.machine.config.spec
-    task = make_task(ctx.world_size, spec)
-    hit = cache.get(task_cache_key(task, world=ctx.world_size, spec=spec,
-                                   max_trials=max_trials))
-    if hit is None:
-        return None
-    return task.finalize(dict(hit["best"]))
+    return warm_tuned_config(cache, make_task(ctx.world_size, spec),
+                             world=ctx.world_size, spec=spec,
+                             max_trials=max_trials)
 
 
 # ---------------------------------------------------------------------------

@@ -17,8 +17,21 @@ from repro.runtime.context import DistContext
 #: paper testbed size
 DEFAULT_WORLD = 8
 
+
+def env_flag(name: str, default: str = "0") -> bool:
+    """Boolean environment flag, case-insensitively.
+
+    ``"0"``, the empty string, ``"false"``, ``"no"`` and ``"off"`` (any
+    capitalization, surrounding whitespace ignored) are false; anything
+    else is true.  The case fold matters: a naive exact-match parse
+    reads ``REPRO_FAST=False`` as *enabling* fast mode.
+    """
+    return os.environ.get(name, default).strip().lower() \
+        not in ("0", "", "false", "no", "off")
+
+
 #: ``REPRO_FAST=1`` trims sweeps (subset of shapes) for quick iteration.
-FAST = os.environ.get("REPRO_FAST", "0") not in ("0", "", "false")
+FAST = env_flag("REPRO_FAST")
 
 
 def make_ctx(world: int = DEFAULT_WORLD, numerics: bool = False,

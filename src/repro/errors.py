@@ -62,3 +62,8 @@ class RuntimeLaunchError(TileLinkError):
 
 class ShapeError(TileLinkError):
     """Tile/tensor shape mismatch detected at compile or run time."""
+
+
+class ServeError(TileLinkError):
+    """The serving simulator was misconfigured (unknown scenario, missing
+    latency-table entry, invalid trace, ...)."""

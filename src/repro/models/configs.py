@@ -7,7 +7,7 @@ eight LLMs the paper evaluates (batch 4, sequence 8192 — §7.3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 
 # --------------------------------------------------------------------------
@@ -96,6 +96,12 @@ class ModelConfig:
     @property
     def tokens(self) -> int:
         return self.batch * self.seq_len
+
+    def with_tokens(self, tokens: int) -> "ModelConfig":
+        """This architecture at a different step size (batch 1 x
+        ``tokens``) — the serving simulator's step-latency table probes
+        each model over a ladder of these variants."""
+        return replace(self, batch=1, seq_len=tokens)
 
 
 E2E_MODELS: list[ModelConfig] = [

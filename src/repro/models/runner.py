@@ -1,9 +1,20 @@
-"""End-to-end model timing (Figure 11).
+"""End-to-end model timing — one simulation entry point, two consumers.
 
-The runner simulates one steady-state transformer layer per (model,
-method) pair and scales by the layer count — layer times are homogeneous
-in these architectures, so per-layer x n_layers matches simulating the
-whole stack while keeping the event count tractable.
+:func:`layer_time` simulates one steady-state transformer layer per
+(model, method) pair; it is shared by the Figure-11 end-to-end tables
+(:func:`e2e_model_time` scales it by the layer count — layer times are
+homogeneous in these architectures, so per-layer x n_layers matches
+simulating the whole stack while keeping the event count tractable) and
+by the serving simulator's step-latency table
+(:mod:`repro.serve.latency`, which memoises it over token-count buckets
+so the request loop never touches the discrete-event engine).
+
+``method`` is one of :data:`repro.models.transformer.METHODS`:
+``"torch"`` (cuBLAS+NCCL baselines), ``"tilelink"`` (overlapped kernels,
+paper configs) or ``"tilelink-tuned"`` (overlapped kernels with each
+op's config resolved through the shipped warm tuner cache — a pure
+lookup that falls back to the paper config on a miss and never runs a
+tuning search inside the timed build).
 
 Multi-node (16 GPU) runs model the paper's DP-across-nodes / TP-in-node
 deployment: each node runs the same TP-8 layer, plus a per-layer
@@ -14,16 +25,20 @@ speedup (1.29x) lands slightly below the 8-GPU one (1.32x).
 
 from __future__ import annotations
 
-from repro.config import SimConfig
+from repro.config import HardwareSpec, SimConfig
 from repro.models.configs import ModelConfig
-from repro.models.transformer import build_layer
+from repro.models.transformer import METHODS, build_layer
 from repro.runtime.context import DistContext
+
+__all__ = ["METHODS", "layer_time", "inter_node_overhead", "e2e_model_time"]
 
 
 def layer_time(model: ModelConfig, method: str, world: int = 8,
-               seed: int = 0) -> float:
+               seed: int = 0, spec: HardwareSpec | None = None) -> float:
     """Simulated seconds for one transformer layer."""
-    cfg = SimConfig(world_size=world, execute_numerics=False, seed=seed)
+    kwargs = {} if spec is None else {"spec": spec}
+    cfg = SimConfig(world_size=world, execute_numerics=False, seed=seed,
+                    **kwargs)
     ctx = DistContext.create(cfg)
     build_layer(ctx, model, method)
     return ctx.run()
@@ -39,9 +54,10 @@ def inter_node_overhead(model: ModelConfig, world: int = 8) -> float:
 
 
 def e2e_model_time(model: ModelConfig, method: str, world: int = 8,
-                   n_nodes: int = 1, seed: int = 0) -> float:
+                   n_nodes: int = 1, seed: int = 0,
+                   spec: HardwareSpec | None = None) -> float:
     """Simulated seconds for a full forward pass of the model."""
-    per_layer = layer_time(model, method, world=world, seed=seed)
+    per_layer = layer_time(model, method, world=world, seed=seed, spec=spec)
     if n_nodes > 1:
         per_layer += inter_node_overhead(model, world)
     return per_layer * model.n_layers

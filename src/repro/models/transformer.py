@@ -10,15 +10,29 @@ parallelism with sequence-sharded activations:
 * MLP / MoE        — AG+GEMM, activation, GEMM+RS (overlappable)
 
 ``method`` selects how the overlappable ops run: ``"torch"`` uses the
-cuBLAS+NCCL non-overlap baselines, ``"tilelink"`` the overlapped kernels.
-Coarser 256-tiles keep the event count tractable at batch 4 x seq 8192.
+cuBLAS+NCCL non-overlap baselines, ``"tilelink"`` the overlapped kernels
+with the paper's e2e configs, and ``"tilelink-tuned"`` additionally
+resolves each overlappable op through the shipped warm tuner cache
+(:mod:`repro.tuner.warm`) — a key hit swaps in the exhaustive-search
+winner for that op's exact shape, a miss falls back to the paper config,
+and no path ever simulates a tuning search inside a timed build.  The
+MoE expert layer keeps the paper config under ``tilelink-tuned``: its
+tuned ``block_m`` doubles as the routing granularity, and the shipped
+sweep does not cover the e2e routing seeds.
+
+Coarser 256-tiles keep the event count tractable at batch 4 x seq 8192;
+row tiles shrink with the token count so short-sequence variants (the
+serving simulator's step-latency buckets) stay tile-aligned.
 """
 
 from __future__ import annotations
 
 from repro.baselines import nonoverlap, vllm_moe
-from repro.kernels.ag_gemm import AgGemmConfig, ag_gemm_overlapped
-from repro.kernels.gemm_rs import GemmRsConfig, gemm_rs_overlapped
+from repro.config import HardwareSpec
+from repro.kernels.ag_gemm import AgGemmConfig, ag_gemm_overlapped, \
+    ag_gemm_tune_task
+from repro.kernels.gemm_rs import GemmRsConfig, gemm_rs_overlapped, \
+    gemm_rs_tune_task
 from repro.kernels.moe_common import MoeRouting, build_moe_routing, \
     random_router_logits
 from repro.kernels.moe_layer import MoeConfig, moe_layer_tilelink
@@ -27,34 +41,84 @@ from repro.models.configs import ModelConfig
 from repro.ops.activation import silu_op
 from repro.ops.attention import flash_attention_op
 from repro.runtime.context import DistContext
+from repro.tuner.cache import TuneCache
+from repro.tuner.space import TunerError
+from repro.tuner.warm import resolve_warm_cache, warm_tuned_config
+
+#: the methods the layer builders (and the e2e runner) accept
+METHODS = ("torch", "tilelink", "tilelink-tuned")
 
 #: e2e tile sizes (coarser than the single-layer benches, for speed)
 BM, BN, BK, BMR, BNR = 256, 256, 64, 256, 512
 MOE_BLOCK_M = 256
 
 
+def _row_tile(base: int, tokens: int, world: int) -> int:
+    """Row-tile size fitting ``tokens`` — the kernels require per-rank
+    rows to be a multiple of every row tile, so token counts below
+    ``world * base`` (short serving steps) clamp the tile to the
+    per-rank row count.  Power-of-two buckets keep the result exact."""
+    return max(1, min(base, tokens // world))
+
+
+def _spec(ctx: DistContext) -> HardwareSpec:
+    return ctx.machine.config.spec
+
+
+def _warm_cfg(warm: TuneCache | None, make_task, ctx: DistContext):
+    """Tuned config for ``make_task()``'s shape from the warm cache.
+
+    ``None`` on a key miss — or when the shape falls outside the
+    tuner's design space entirely (short serving steps whose per-rank
+    rows fit no searchable tile): such a shape can never have a cache
+    entry, so it is a miss by construction, not an error.
+    """
+    if warm is None:
+        return None
+    try:
+        task = make_task()
+    except TunerError:
+        return None
+    return warm_tuned_config(warm, task, world=ctx.world_size,
+                             spec=_spec(ctx))
+
+
 def _ag_gemm(ctx: DistContext, method: str, m: int, n: int, k: int,
-             x: str, w: str, out: str, tag: str) -> None:
-    if method == "tilelink":
-        cfg = AgGemmConfig(m=m, n=n, k=k, block_m=BM, block_n=BN, block_k=BK,
-                           block_mp=BM, mode="dma")
-        ag_gemm_overlapped(ctx, cfg, x, w, out, tag=tag)
-    else:
+             x: str, w: str, out: str, tag: str,
+             warm: TuneCache | None = None) -> None:
+    if method == "torch":
         nonoverlap.ag_gemm_nonoverlap(ctx, m, n, k, x, w, out, tag=tag)
+        return
+    cfg = _warm_cfg(
+        warm, lambda: ag_gemm_tune_task(m, n, k, world=ctx.world_size,
+                                        spec=_spec(ctx)), ctx)
+    if cfg is None:
+        bm = _row_tile(BM, m, ctx.world_size)
+        cfg = AgGemmConfig(m=m, n=n, k=k, block_m=bm, block_n=BN, block_k=BK,
+                           block_mp=bm, mode="dma")
+    ag_gemm_overlapped(ctx, cfg, x, w, out, tag=tag)
 
 
 def _gemm_rs(ctx: DistContext, method: str, m: int, n: int, k: int,
-             x: str, w: str, out: str, tag: str) -> None:
-    if method == "tilelink":
-        cfg = GemmRsConfig(m=m, n=n, k=k, block_m=BM, block_n=BN, block_k=BK,
-                           block_mr=BMR, block_nr=BNR, mode="hybrid")
-        gemm_rs_overlapped(ctx, cfg, x, w, out, tag=tag)
-    else:
+             x: str, w: str, out: str, tag: str,
+             warm: TuneCache | None = None) -> None:
+    if method == "torch":
         nonoverlap.gemm_rs_nonoverlap(ctx, m, n, k, x, w, out, tag=tag)
+        return
+    cfg = _warm_cfg(
+        warm, lambda: gemm_rs_tune_task(m, n, k, world=ctx.world_size,
+                                        spec=_spec(ctx)), ctx)
+    if cfg is None:
+        bm = _row_tile(BM, m, ctx.world_size)
+        bmr = _row_tile(BMR, m, ctx.world_size)
+        cfg = GemmRsConfig(m=m, n=n, k=k, block_m=bm, block_n=BN, block_k=BK,
+                           block_mr=bmr, block_nr=BNR, mode="hybrid")
+    gemm_rs_overlapped(ctx, cfg, x, w, out, tag=tag)
 
 
 def build_attention_block(ctx: DistContext, model: ModelConfig, method: str,
-                          tag: str = "attn") -> None:
+                          tag: str = "attn",
+                          warm: TuneCache | None = None) -> None:
     """QKV projection + core flash attention + output projection."""
     world = ctx.world_size
     tokens = model.tokens
@@ -66,7 +130,8 @@ def build_attention_block(ctx: DistContext, model: ModelConfig, method: str,
     ctx.alloc(f"{tag}.w_qkv", (h, qkv_width), "float16", fill=None)
     ctx.alloc(f"{tag}.qkv", (tokens, qkv_width), "float16", fill=None)
     _ag_gemm(ctx, method, tokens, qkv_width, h,
-             f"{tag}.x", f"{tag}.w_qkv", f"{tag}.qkv", tag=f"{tag}.qkv_proj")
+             f"{tag}.x", f"{tag}.w_qkv", f"{tag}.qkv", tag=f"{tag}.qkv_proj",
+             warm=warm)
 
     # core attention: per (batch x local head) over the full sequence
     attn_w = model.heads * model.head_dim // world
@@ -83,12 +148,14 @@ def build_attention_block(ctx: DistContext, model: ModelConfig, method: str,
     ctx.alloc(f"{tag}.w_o", (attn_w, h), "float16", fill=None)
     ctx.alloc(f"{tag}.out", (tokens // world, h), "float32", fill=None)
     _gemm_rs(ctx, method, tokens, h, attn_w,
-             f"{tag}.ctx", f"{tag}.w_o", f"{tag}.out", tag=f"{tag}.o_proj")
+             f"{tag}.ctx", f"{tag}.w_o", f"{tag}.out", tag=f"{tag}.o_proj",
+             warm=warm)
 
 
 def build_ffn_block(ctx: DistContext, model: ModelConfig, method: str,
                     routing: MoeRouting | None = None,
-                    tag: str = "ffn") -> None:
+                    tag: str = "ffn",
+                    warm: TuneCache | None = None) -> None:
     """Dense MLP, MoE layer, or (Qwen) shared-expert MLP + MoE."""
     world = ctx.world_size
     tokens = model.tokens
@@ -99,15 +166,28 @@ def build_ffn_block(ctx: DistContext, model: ModelConfig, method: str,
         ctx.alloc(f"{sub}.w1", (h, i // world), "float16", fill=None)
         ctx.alloc(f"{sub}.w2", (i // world, h), "float16", fill=None)
         ctx.alloc(f"{sub}.out", (tokens // world, h), "float32", fill=None)
-        if method == "tilelink":
-            cfg = MlpConfig(m=tokens, h=h, i=i, block_m=BM, block_n=BN,
-                            block_k=BK, block_mr=BMR, block_nr=BNR)
-            mlp_layer_tilelink(ctx, cfg, f"{sub}.x", f"{sub}.w1",
-                               f"{sub}.w2", f"{sub}.out", tag=sub)
-        else:
+        if method == "torch":
             cfg = MlpConfig(m=tokens, h=h, i=i)
             nonoverlap.mlp_nonoverlap(ctx, cfg, f"{sub}.x", f"{sub}.w1",
                                       f"{sub}.w2", f"{sub}.out", tag=sub)
+            return
+        bm = _row_tile(BM, tokens, world)
+        bmr = _row_tile(BMR, tokens, world)
+        cfg = MlpConfig(m=tokens, h=h, i=i, block_m=bm, block_n=BN,
+                        block_k=BK, block_mr=bmr, block_nr=BNR)
+        # the two halves tune independently — inject whichever winners
+        # the warm cache holds for these exact shapes
+        ag_cfg = _warm_cfg(
+            warm, lambda: ag_gemm_tune_task(tokens, i // world, h,
+                                            world=world, spec=_spec(ctx)),
+            ctx)
+        rs_cfg = _warm_cfg(
+            warm, lambda: gemm_rs_tune_task(tokens, h, i // world,
+                                            world=world, spec=_spec(ctx)),
+            ctx)
+        mlp_layer_tilelink(ctx, cfg, f"{sub}.x", f"{sub}.w1",
+                           f"{sub}.w2", f"{sub}.out", tag=sub,
+                           ag_cfg=ag_cfg, rs_cfg=rs_cfg)
 
     if not model.moe:
         dense(model.intermediate, f"{tag}.mlp")
@@ -116,19 +196,23 @@ def build_ffn_block(ctx: DistContext, model: ModelConfig, method: str,
     if model.shared_intermediate > 0:
         dense(model.shared_intermediate, f"{tag}.shared")
 
+    moe_block_m = _row_tile(MOE_BLOCK_M, tokens, world)
     if routing is None:
         logits = random_router_logits(tokens, model.n_experts,
                                       seed=ctx.machine.config.seed)
         routing = build_moe_routing(logits, tokens // world, world,
-                                    model.topk, block_m=MOE_BLOCK_M)
+                                    model.topk, block_m=moe_block_m)
     cfg = MoeConfig(m=tokens, h=h, i=model.intermediate,
                     n_experts=model.n_experts, topk=model.topk,
-                    block_m=MOE_BLOCK_M, block_n=BN, block_k=BK,
-                    block_mr=BMR, block_nr=BNR)
+                    block_m=moe_block_m, block_n=BN, block_k=BK,
+                    block_mr=_row_tile(BMR, tokens, world), block_nr=BNR)
     ishard = cfg.i_shard(world)
     ctx.alloc(f"{tag}.x", (tokens // world, h), "float16", fill=None)
     ctx.alloc(f"{tag}.out", (tokens // world, h), "float32", fill=None)
-    if method == "tilelink":
+    if method in ("tilelink", "tilelink-tuned"):
+        # tilelink-tuned: the expert layer keeps the paper config (tuned
+        # block_m would change the routing granularity, and the shipped
+        # sweep's router seeds do not cover the e2e layers)
         ctx.alloc(f"{tag}.w1", (model.n_experts * h, ishard), "float16",
                   fill=None)
         ctx.alloc(f"{tag}.w2", (model.n_experts * ishard, h), "float16",
@@ -150,5 +234,10 @@ def build_ffn_block(ctx: DistContext, model: ModelConfig, method: str,
 
 def build_layer(ctx: DistContext, model: ModelConfig, method: str) -> None:
     """One full transformer layer (attention block + FFN block)."""
-    build_attention_block(ctx, model, method)
-    build_ffn_block(ctx, model, method)
+    if method not in METHODS:
+        raise ValueError(f"unknown method {method!r}; expected one of "
+                         f"{METHODS}")
+    # resolve the warm cache once per layer; every op below shares it
+    warm = resolve_warm_cache() if method == "tilelink-tuned" else None
+    build_attention_block(ctx, model, method, warm=warm)
+    build_ffn_block(ctx, model, method, warm=warm)

@@ -1,0 +1,75 @@
+"""``repro.serve`` — request-level serving simulator.
+
+The paper evaluates TileLink one forward pass at a time; this subsystem
+expresses the overlapped kernels' wins as the numbers a *deployment*
+cares about — throughput, TTFT/TPOT tails and SLO attainment under heavy
+traffic.  Four stages, one module each:
+
+* :mod:`repro.serve.workload` — seeded request generators
+  (Poisson / bursty / wave arrivals, log-normal prompt/output lengths,
+  named scenario presets ``chat`` / ``rag`` / ``batch-summarize``, and
+  trace replay);
+* :mod:`repro.serve.latency` — :class:`StepLatencyTable`, a memoised
+  ladder of :func:`repro.models.runner.layer_time` simulations per
+  (model, method, token-bucket) that the serving loop interpolates, so
+  millions of requests simulate in seconds on one CPU;
+* :mod:`repro.serve.scheduler` — deterministic continuous batching with
+  separate prefill/decode phases, ``max_batch`` / ``max_prefill_tokens``
+  admission and pluggable queue policies (FCFS, shortest-prompt-first);
+* :mod:`repro.serve.metrics` — throughput, p50/p99 TTFT and TPOT,
+  queue depth and SLO attainment, with strict-JSON report rows.
+
+One-call flow::
+
+    from repro.serve import (StepLatencyTable, ServerConfig,
+                             generate_requests, serve, summarize)
+    reqs = generate_requests("chat", 1000, seed=0)
+    table = StepLatencyTable(path)          # or resolve_latency_table()
+    table.ensure(model, "tilelink")         # warm hit when shipped
+    res = serve(reqs, model, "tilelink", table, ServerConfig())
+    report = summarize(res, "chat", "tilelink")
+
+The ``method`` axis (``torch`` / ``tilelink`` / ``tilelink-tuned``)
+turns the serving curves into the repo's traffic-level
+TileLink-vs-baseline comparison — see ``benchmarks/bench_serving.py``.
+"""
+
+from repro.serve.latency import (
+    DEFAULT_BUCKETS,
+    ENV_LATENCY_TABLE,
+    StepLatencyTable,
+    entry_key,
+    latency_table_path,
+    model_key,
+    resolve_latency_table,
+)
+from repro.serve.metrics import (
+    ServingReport,
+    SloSpec,
+    format_reports,
+    percentile,
+    summarize,
+)
+from repro.serve.scheduler import (
+    POLICIES,
+    RequestLog,
+    ServeResult,
+    ServerConfig,
+    serve,
+)
+from repro.serve.workload import (
+    SCENARIOS,
+    Request,
+    Scenario,
+    generate_requests,
+    replay_trace,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS", "ENV_LATENCY_TABLE", "POLICIES", "Request",
+    "RequestLog", "SCENARIOS", "Scenario", "ServeResult", "ServerConfig",
+    "ServingReport", "SloSpec", "StepLatencyTable", "entry_key",
+    "format_reports", "generate_requests", "latency_table_path",
+    "model_key", "percentile", "replay_trace", "resolve_latency_table",
+    "serve", "summarize",
+]

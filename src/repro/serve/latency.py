@@ -1,0 +1,230 @@
+"""Step-latency table: the bridge between requests and the simulator.
+
+The 1-CPU discrete-event simulator prices one transformer layer in
+hundreds of milliseconds of wall time — far too slow to call once per
+serving step when a traffic sweep runs millions of steps.  This module
+memoises a small ladder of :func:`repro.models.runner.layer_time`
+simulations per (model, method) into a JSON file and answers every
+serving-step query by interpolating on it:
+
+* each entry holds **per-layer** simulated seconds at a handful of
+  token-count *buckets* (powers of two, 64..8192 by default — at most a
+  few dozen ``build_layer`` simulations per entry);
+* :meth:`StepLatencyTable.step_time` maps an arbitrary step size to
+  seconds — flat below the smallest bucket (fixed launch/collective
+  overheads dominate there), piecewise-linear between buckets, and
+  linearly extrapolated above the largest — then scales by the model's
+  layer count.
+
+A *step* is one engine iteration of the continuous-batching scheduler: a
+prefill step processes the admitted prompts' tokens, a decode step one
+token per running request.  Both phases are priced as a tensor-parallel
+layer at the step's total token count — the causal-attention term makes
+long-prompt prefill superlinear (as it should be), while short decode
+steps sit on the fixed-overhead floor.  The approximation ignores
+KV-cache length during decode; it is shared by every ``method``, so the
+TileLink-vs-baseline comparisons the table exists for are apples to
+apples.
+
+The checked-in table (``benchmarks/latency_table.json``, beside
+``warm_cache.json``) covers the serving bench's models; regenerate or
+staleness-check it with ``benchmarks/refresh_latency_table.py``.  Keys
+fold in everything that changes the answer — the architecture fields of
+the model, the method, the world size, the seed and
+``HardwareSpec.fingerprint()`` — so a table built for different hardware
+misses cleanly instead of serving stale numbers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Callable, Iterable
+
+from repro.config import H800, HardwareSpec
+from repro.errors import ServeError
+from repro.models.configs import ModelConfig
+from repro.util.jsonstore import VersionedJsonStore
+
+_VERSION = 1
+
+#: Environment override for the shipped latency-table location.
+ENV_LATENCY_TABLE = "REPRO_LATENCY_TABLE"
+
+#: Default token-count ladder: power-of-two buckets keep every variant
+#: tile-aligned (see ``transformer._row_tile``); 64 covers decode steps,
+#: 8192 the largest admissible prefill chunk.
+DEFAULT_BUCKETS = (64, 128, 256, 512, 1024, 2048, 4096, 8192)
+
+
+def latency_table_path() -> Path:
+    env = os.environ.get(ENV_LATENCY_TABLE)
+    if env:
+        return Path(env)
+    return (Path(__file__).resolve().parents[3] / "benchmarks"
+            / "latency_table.json")
+
+
+def model_key(model: ModelConfig) -> str:
+    """Architecture fingerprint: every field that changes one layer's
+    simulated time (``n_layers`` scales outside the table; batch/seq are
+    replaced per bucket)."""
+    key = (f"h{model.hidden}-a{model.heads}x{model.head_dim}"
+           f"-i{model.intermediate}")
+    if model.moe:
+        key += f"-moe{model.n_experts}k{model.topk}"
+        if model.shared_intermediate:
+            key += f"-si{model.shared_intermediate}"
+    return key
+
+
+def _warm_cache_fingerprint() -> str:
+    """Content digest of the shipped warm tuner cache (or ``none``).
+
+    ``tilelink-tuned`` step latencies depend on which winners the warm
+    cache resolves — retuning ``warm_cache.json`` changes the simulated
+    layer without touching this module, so tuned entry keys fold the
+    cache *content* in and ``refresh_latency_table.py --check`` goes
+    stale exactly when it should."""
+    from repro.tuner.warm import resolve_warm_cache
+
+    cache = resolve_warm_cache()
+    if cache is None:
+        return "none"
+    payload = json.dumps({k: cache.get(k) for k in sorted(cache.keys())},
+                         sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()[:12]
+
+
+def entry_key(model: ModelConfig, method: str, world: int,
+              spec: HardwareSpec, seed: int = 0) -> str:
+    key = "|".join([model_key(model), method, f"w{world}", f"s{seed}",
+                    spec.fingerprint()])
+    if method == "tilelink-tuned":
+        key += f"|wc{_warm_cache_fingerprint()}"
+    return key
+
+
+def resolve_latency_table(path: str | os.PathLike | None = None
+                          ) -> "StepLatencyTable | None":
+    """The shipped latency table, read-only, or ``None`` when missing."""
+    p = Path(path) if path is not None else latency_table_path()
+    if not p.is_file():
+        return None
+    return StepLatencyTable(p, readonly=True)
+
+
+class StepLatencyTable(VersionedJsonStore):
+    """Persistent (model, method) -> bucketed per-layer-seconds store.
+
+    The storage discipline (lazy first read, atomic
+    write-temp-then-rename flush, corrupt-as-empty, ``readonly`` handles
+    that update the in-memory view but never touch disk) is shared with
+    :class:`repro.tuner.cache.TuneCache` via
+    :class:`~repro.util.jsonstore.VersionedJsonStore`.
+    """
+
+    _version = _VERSION
+
+    def __init__(self, path: str | os.PathLike | None = None, *,
+                 readonly: bool = False):
+        super().__init__(path if path is not None else latency_table_path(),
+                         readonly=readonly)
+
+    # -- building -----------------------------------------------------------
+
+    def has(self, model: ModelConfig, method: str, world: int = 8,
+            spec: HardwareSpec = H800, seed: int = 0) -> bool:
+        return entry_key(model, method, world, spec, seed) in self._load()
+
+    def entry(self, key: str) -> dict | None:
+        """The raw stored entry for ``key`` (a copy), or ``None``."""
+        e = self._load().get(key)
+        return dict(e) if e is not None else None
+
+    def ensure(self, model: ModelConfig, method: str, world: int = 8,
+               spec: HardwareSpec = H800,
+               buckets: Iterable[int] = DEFAULT_BUCKETS, seed: int = 0,
+               progress: Callable[[str], None] | None = None) -> dict:
+        """Simulate (or reuse) this entry's bucket ladder; returns it.
+
+        An existing entry with the same bucket ladder is returned as-is
+        (zero simulation); a differing ladder is resimulated whole so an
+        entry is always internally consistent.  On a ``readonly`` table
+        the fresh entry lives only in memory.
+        """
+        from repro.models.runner import layer_time
+
+        buckets = sorted(set(int(b) for b in buckets))
+        if len(buckets) < 2 or buckets[0] < 8:
+            # >= 2 points: the interpolator needs a segment to
+            # extrapolate from above the largest bucket
+            raise ServeError(f"invalid bucket ladder {buckets}")
+        key = entry_key(model, method, world, spec, seed)
+        entry = self._load().get(key)
+        if entry is not None and list(entry.get("buckets", ())) == buckets:
+            return entry
+        times = []
+        for b in buckets:
+            if progress is not None:
+                progress(f"  simulate {model.name}/{method} @ {b} tokens")
+            times.append(layer_time(model.with_tokens(b), method,
+                                    world=world, seed=seed, spec=spec))
+        entry = {"buckets": buckets, "layer_s": times,
+                 "meta": {"model": model.name, "method": method,
+                          "world": world, "seed": seed}}
+        self._load()[key] = entry
+        self._flush()
+        return entry
+
+    # -- querying -----------------------------------------------------------
+
+    def interpolator(self, model: ModelConfig, method: str, world: int = 8,
+                     spec: HardwareSpec = H800,
+                     seed: int = 0) -> Callable[[int], float]:
+        """A fast ``tokens -> step seconds`` closure for one entry.
+
+        The serving loop calls this millions of times; resolving the
+        entry once and closing over plain lists keeps the per-step cost
+        to a bisect and a multiply.
+        """
+        key = entry_key(model, method, world, spec, seed)
+        entry = self._load().get(key)
+        if entry is None:
+            raise ServeError(
+                f"no latency-table entry for {model.name}/{method} "
+                f"(world={world}, seed={seed}) in {self.path}; build one "
+                f"with StepLatencyTable.ensure() or refresh the shipped "
+                f"table via benchmarks/refresh_latency_table.py")
+        buckets = [int(b) for b in entry["buckets"]]
+        layer_s = [float(t) for t in entry["layer_s"]]
+        n_layers = model.n_layers
+        from bisect import bisect_left
+
+        def step_seconds(tokens: int) -> float:
+            if tokens <= buckets[0]:
+                # fixed launch/collective overheads dominate below the
+                # smallest bucket — charge its floor
+                per_layer = layer_s[0]
+            elif tokens >= buckets[-1]:
+                # extrapolate on the last segment's per-token slope
+                slope = ((layer_s[-1] - layer_s[-2])
+                         / (buckets[-1] - buckets[-2]))
+                per_layer = layer_s[-1] + slope * (tokens - buckets[-1])
+            else:
+                i = bisect_left(buckets, tokens)
+                lo_b, hi_b = buckets[i - 1], buckets[i]
+                lo_t, hi_t = layer_s[i - 1], layer_s[i]
+                frac = (tokens - lo_b) / (hi_b - lo_b)
+                per_layer = lo_t + frac * (hi_t - lo_t)
+            return per_layer * n_layers
+
+        return step_seconds
+
+    def step_time(self, model: ModelConfig, method: str, tokens: int,
+                  world: int = 8, spec: HardwareSpec = H800,
+                  seed: int = 0) -> float:
+        """Seconds for one serving step of ``tokens`` total tokens."""
+        return self.interpolator(model, method, world, spec, seed)(tokens)

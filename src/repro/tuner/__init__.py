@@ -24,7 +24,10 @@ each:
   candidate simulation across shapes that alias in key space;
 * :mod:`repro.tuner.parallel` — ``sweep(..., workers=N)`` execution
   layer fanning the non-aliasing cold tasks out over a process pool,
-  merging per-worker cache files through the flock-protected flush.
+  merging per-worker cache files through the flock-protected flush;
+* :mod:`repro.tuner.warm` — shipped warm-cache resolution (the
+  zero-simulation hit-or-fallback step behind the tuned-by-default bench
+  columns and ``method="tilelink-tuned"``).
 
 One-call API::
 
@@ -74,6 +77,11 @@ from repro.tuner.space import (
 )
 from repro.tuner.parallel import parallel_sweep
 from repro.tuner.sweep import SweepEntry, SweepReport, sweep
+from repro.tuner.warm import (
+    resolve_warm_cache,
+    warm_cache_path,
+    warm_tuned_config,
+)
 
 __all__ = [
     "Axis", "PruneResult", "ResidualModel", "SearchSpace", "SweepEntry",
@@ -84,6 +92,7 @@ __all__ = [
     "link_transfer_time", "make_key", "model_guided_search",
     "moe_rs_lower_bound", "parallel_sweep", "prune",
     "register_space", "registered_kernels", "ring_attention_lower_bound",
-    "search_signature", "stratified_probe_indices", "sweep",
-    "task_cache_key", "tune",
+    "resolve_warm_cache", "search_signature", "stratified_probe_indices",
+    "sweep", "task_cache_key", "tune", "warm_cache_path",
+    "warm_tuned_config",
 ]

@@ -27,14 +27,13 @@ treated as empty rather than raising.
 
 from __future__ import annotations
 
-import json
 import os
-import tempfile
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Iterator
 
 from repro.tuner.space import TunerError
+from repro.util.jsonstore import VersionedJsonStore
 
 try:
     import fcntl
@@ -60,42 +59,26 @@ def make_key(kernel: str, shape_key: str, world: int, spec_fingerprint: str,
                      space_fingerprint])
 
 
-class TuneCache:
+class TuneCache(VersionedJsonStore):
     """Dict-like persistent store of tuning results.
 
     Entries are plain JSON objects ``{"best": candidate, "time_s": float,
     "meta": {...}}``.  The file is re-read lazily on first access and
     rewritten atomically on every :meth:`put` (tuning writes are rare and
-    small; durability beats batching here).
+    small; durability beats batching here).  The storage discipline
+    (lazy read, corrupt-as-empty, atomic rename, readonly) lives in
+    :class:`~repro.util.jsonstore.VersionedJsonStore`; this class layers
+    the flock-protected read-merge flush on top.
     """
+
+    _version = _VERSION
 
     def __init__(self, path: str | os.PathLike | None = None, *,
                  readonly: bool = False):
-        self.path = Path(path) if path is not None else default_cache_path()
-        #: a read-only cache never rewrites its file — :meth:`put` still
-        #: updates the in-memory view (so a resolution path keeps working)
-        #: but nothing is flushed.  Used for shipped/checked-in caches.
-        self.readonly = readonly
-        self._entries: dict[str, dict] | None = None
+        super().__init__(path if path is not None else default_cache_path(),
+                         readonly=readonly)
 
     # -- storage ------------------------------------------------------------
-
-    def _read_disk(self) -> dict[str, dict]:
-        """Entries currently on disk; {} for a missing/corrupt/foreign file."""
-        try:
-            raw = json.loads(self.path.read_text())
-            if isinstance(raw, dict) and raw.get("version") == _VERSION:
-                entries = raw.get("entries", {})
-                if isinstance(entries, dict):
-                    return entries
-        except (OSError, ValueError):
-            pass  # missing or corrupt cache == empty cache
-        return {}
-
-    def _load(self) -> dict[str, dict]:
-        if self._entries is None:
-            self._entries = self._read_disk()
-        return self._entries
 
     @contextmanager
     def _write_lock(self) -> Iterator[None]:
@@ -133,19 +116,7 @@ class TuneCache:
                 if on_disk:
                     entries = {**on_disk, **entries}
                     self._entries = entries
-            payload = {"version": _VERSION, "entries": entries}
-            fd, tmp = tempfile.mkstemp(dir=str(self.path.parent),
-                                       prefix=self.path.name, suffix=".tmp")
-            try:
-                with os.fdopen(fd, "w") as fh:
-                    json.dump(payload, fh, indent=1, sort_keys=True)
-                os.replace(tmp, self.path)
-            except BaseException:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
+            self._atomic_write(entries)
 
     # -- dict-ish API -------------------------------------------------------
 
@@ -193,15 +164,6 @@ class TuneCache:
         if merged:
             self._flush()
         return merged
-
-    def keys(self) -> tuple[str, ...]:
-        return tuple(self._load())
-
-    def __contains__(self, key: str) -> bool:
-        return key in self._load()
-
-    def __len__(self) -> int:
-        return len(self._load())
 
     def clear(self) -> None:
         """Empty the cache file (no merge: clearing means clearing).

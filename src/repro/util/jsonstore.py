@@ -1,0 +1,87 @@
+"""Shared storage discipline for the on-disk JSON entry stores.
+
+:class:`repro.tuner.cache.TuneCache` and
+:class:`repro.serve.latency.StepLatencyTable` persist the same way — a
+versioned ``{"version": N, "entries": {...}}`` file, read lazily on
+first access, treated as empty when missing/corrupt/foreign, rewritten
+atomically (write-temp-then-rename), with ``readonly`` handles that keep
+an in-memory view but never touch disk.  This base class owns that
+discipline so a storage fix lands once; subclasses add their own entry
+schema and any extra flush semantics (the tuner cache layers a
+flock-protected read-merge step on top).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+
+class VersionedJsonStore:
+    """Lazy-read, atomically-flushed ``{"version", "entries"}`` file."""
+
+    #: subclasses pin their schema version; a file with any other
+    #: version (or shape) reads as empty rather than raising
+    _version: int = 1
+
+    def __init__(self, path: str | os.PathLike, *, readonly: bool = False):
+        self.path = Path(path)
+        #: a read-only store never rewrites its file — mutations still
+        #: update the in-memory view (so resolution paths keep working)
+        #: but nothing is flushed.  Used for shipped/checked-in files.
+        self.readonly = readonly
+        self._entries: dict[str, dict] | None = None
+
+    def _read_disk(self) -> dict[str, dict]:
+        """Entries currently on disk; {} for a missing/corrupt/foreign
+        file."""
+        try:
+            raw = json.loads(self.path.read_text())
+            if isinstance(raw, dict) and raw.get("version") == self._version:
+                entries = raw.get("entries", {})
+                if isinstance(entries, dict):
+                    return entries
+        except (OSError, ValueError):
+            pass  # missing or corrupt file == empty store
+        return {}
+
+    def _load(self) -> dict[str, dict]:
+        if self._entries is None:
+            self._entries = self._read_disk()
+        return self._entries
+
+    def _atomic_write(self, entries: dict[str, dict]) -> None:
+        """Write ``entries`` under the version header via temp + rename."""
+        payload = {"version": self._version, "entries": entries}
+        fd, tmp = tempfile.mkstemp(dir=str(self.path.parent),
+                                   prefix=self.path.name, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh, indent=1, sort_keys=True)
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _flush(self) -> None:
+        """Default flush: rewrite the in-memory entries (no merge)."""
+        if self.readonly:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._atomic_write(self._load())
+
+    # -- shared dict-ish surface --------------------------------------------
+
+    def keys(self) -> tuple[str, ...]:
+        return tuple(self._load())
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._load()
+
+    def __len__(self) -> int:
+        return len(self._load())

@@ -1,0 +1,96 @@
+"""Direct tests for the end-to-end runner (previously only exercised
+through the Figure-11 bench): inter-node overhead scaling, layer-count
+linearity, seed determinism and the ``tilelink-tuned`` method."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import SimConfig
+from repro.models.configs import E2E_MODELS, ModelConfig
+from repro.models.runner import (
+    METHODS,
+    e2e_model_time,
+    inter_node_overhead,
+    layer_time,
+)
+
+TINY = ModelConfig("tiny", n_layers=2, hidden=1024, heads=8, head_dim=128,
+                   intermediate=4096, batch=1, seq_len=2048)
+TINY_MOE = ModelConfig("tiny-moe", n_layers=2, hidden=1024, heads=8,
+                       head_dim=128, intermediate=4096, moe=True,
+                       n_experts=8, topk=2, batch=1, seq_len=2048)
+
+
+def test_methods_roster():
+    assert METHODS == ("torch", "tilelink", "tilelink-tuned")
+
+
+def test_unknown_method_raises():
+    with pytest.raises(ValueError, match="unknown method"):
+        layer_time(TINY, "triton")
+
+
+def test_with_tokens_reshapes_only_the_step():
+    v = TINY.with_tokens(512)
+    assert (v.batch, v.seq_len, v.tokens) == (1, 512, 512)
+    assert (v.hidden, v.n_layers) == (TINY.hidden, TINY.n_layers)
+    assert TINY.tokens == 2048          # original untouched (frozen)
+
+
+def test_inter_node_overhead_matches_the_formula():
+    spec = SimConfig().spec
+    for model in (TINY, E2E_MODELS[0]):
+        expected = 4 * spec.inter_node_latency + \
+            (model.hidden * model.batch * 2.0 * 64) / \
+            spec.inter_node_bandwidth
+        assert inter_node_overhead(model) == pytest.approx(expected)
+
+
+def test_inter_node_overhead_scales_with_activation_row():
+    """The bandwidth term is linear in hidden x batch; the latency term
+    is model-independent."""
+    spec = SimConfig().spec
+    lat = 4 * spec.inter_node_latency
+    base = inter_node_overhead(TINY) - lat
+    assert inter_node_overhead(replace(TINY, hidden=2 * TINY.hidden)) \
+        - lat == pytest.approx(2 * base)
+    assert inter_node_overhead(replace(TINY, batch=4 * TINY.batch)) \
+        - lat == pytest.approx(4 * base)
+
+
+def test_e2e_is_linear_in_layer_count():
+    """Doubling n_layers exactly doubles the forward pass (per-layer
+    homogeneity is the runner's core modelling assumption)."""
+    short = e2e_model_time(replace(TINY, n_layers=2), "torch")
+    long = e2e_model_time(replace(TINY, n_layers=4), "torch")
+    assert long == pytest.approx(2 * short, rel=1e-12)
+
+
+def test_layer_time_is_seed_deterministic():
+    """Same seed -> bit-identical simulated time, including the MoE
+    routing drawn from the seeded router logits."""
+    for model in (TINY, TINY_MOE):
+        a = layer_time(model, "tilelink", seed=3)
+        b = layer_time(model, "tilelink", seed=3)
+        assert a == b
+
+
+def test_tilelink_tuned_without_cache_equals_tilelink(tmp_path, monkeypatch):
+    """Every warm-key miss falls back to the paper config — with no
+    cache file at all the two methods build identical layers."""
+    monkeypatch.setenv("REPRO_WARM_CACHE", str(tmp_path / "absent.json"))
+    assert layer_time(TINY, "tilelink-tuned") == layer_time(TINY, "tilelink")
+
+
+def test_tilelink_tuned_resolves_shipped_winners():
+    """At a step shape the shipped sweep covers (the MLP-1 table row:
+    8192 tokens, LLaMA2-7B's FFN), the warm cache swaps in a strictly
+    faster MLP config."""
+    llama = next(m for m in E2E_MODELS if m.name == "LLaMA2-7B")
+    step = llama.with_tokens(8192)
+    tuned = layer_time(step, "tilelink-tuned")
+    paper = layer_time(step, "tilelink")
+    assert tuned < paper

@@ -1,0 +1,124 @@
+"""Tests for serving metrics (repro.serve.metrics) and the serving JSON
+row contract shared with ``validate_bench_json.py --schema serving``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks.validate_bench_json import validate_serving_rows
+from repro.errors import ServeError
+from repro.serve.metrics import (
+    ServingReport,
+    SloSpec,
+    format_reports,
+    percentile,
+    summarize,
+)
+from repro.serve.scheduler import RequestLog, ServeResult
+from repro.serve.workload import Request
+
+
+def _result(specs):
+    """ServeResult from (arrival, first, finish, out_tokens) tuples."""
+    logs = []
+    for i, (arr, first, fin, out) in enumerate(specs):
+        logs.append(RequestLog(
+            Request(rid=i, arrival_s=arr, prompt_tokens=10,
+                    output_tokens=out),
+            first_token_s=first, finish_s=fin))
+    makespan = max(s[2] for s in specs) - min(s[0] for s in specs)
+    return ServeResult(logs=logs, makespan_s=makespan,
+                       queue_depth=[0, 2, 1])
+
+
+def test_percentile_interpolates_linearly():
+    vals = list(range(1, 101))
+    assert percentile(vals, 0) == 1.0
+    assert percentile(vals, 100) == 100.0
+    assert percentile(vals, 50) == 50.5
+    assert percentile([4.0], 99) == 4.0
+    assert percentile([1.0, 2.0], 50) == 1.5
+    with pytest.raises(ServeError):
+        percentile([], 50)
+    with pytest.raises(ServeError):
+        percentile([1.0], 101)
+
+
+def test_slo_spec_accounts_for_single_token_requests():
+    slo = SloSpec(ttft_s=1.0, tpot_s=0.1)
+    assert slo.met_by(0.5, 0.05)
+    assert not slo.met_by(1.5, 0.05)        # TTFT blown
+    assert not slo.met_by(0.5, 0.2)         # TPOT blown
+    assert slo.met_by(0.5, None)            # no decode phase: TTFT decides
+    assert not slo.met_by(1.5, None)
+
+
+def test_summarize_computes_exact_numbers():
+    # two requests: ttft 1s and 3s; one decodes 4 tokens over 3s (tpot
+    # 1s), the other is single-token
+    res = _result([(0.0, 1.0, 4.0, 4), (1.0, 4.0, 4.0, 1)])
+    rep = summarize(res, "chat", "tilelink",
+                    slo=SloSpec(ttft_s=2.0, tpot_s=1.5))
+    assert rep.n_requests == 2
+    assert rep.makespan_s == pytest.approx(4.0)
+    assert rep.throughput_rps == pytest.approx(2 / 4.0)
+    assert rep.output_tok_per_s == pytest.approx(5 / 4.0)
+    assert rep.ttft_p50_s == pytest.approx(2.0)     # midpoint of 1 and 3
+    assert rep.tpot_p50_s == pytest.approx(1.0)
+    assert rep.queue_depth_max == 2
+    # request 0 meets (ttft 1 <= 2, tpot 1 <= 1.5); request 1 blows TTFT
+    assert rep.slo_attainment == pytest.approx(0.5)
+
+
+def test_summarize_tpot_is_null_when_nothing_decodes():
+    res = _result([(0.0, 1.0, 1.0, 1), (0.0, 1.5, 1.5, 1)])
+    rep = summarize(res, "chat", "torch")
+    assert rep.tpot_p50_s is None and rep.tpot_p99_s is None
+
+
+def test_summarize_rejects_unfinished_requests():
+    res = _result([(0.0, 1.0, 2.0, 2)])
+    res.logs[0].finish_s = None
+    with pytest.raises(ServeError, match="unfinished"):
+        summarize(res, "chat", "torch")
+
+
+def test_rows_satisfy_the_serving_schema():
+    res = _result([(0.0, 1.0, 4.0, 4), (1.0, 4.0, 4.0, 1)])
+    rows = [summarize(res, "chat", m).row()
+            for m in ("torch", "tilelink")]
+    # also the all-null-TPOT shape
+    rows.append(summarize(_result([(0.0, 1.0, 1.0, 1)]), "rag",
+                          "torch").row())
+    assert validate_serving_rows(rows, min_rows=3) == []
+    # strict JSON round trip (no NaN/Infinity can sneak in)
+    assert json.loads(json.dumps(rows, allow_nan=False)) == rows
+
+
+def test_schema_rejects_drifted_rows():
+    res = _result([(0.0, 1.0, 4.0, 4)])
+    good = summarize(res, "chat", "tilelink").row()
+    bad_half_null = dict(good, tpot_p50_s=None)      # p99 stays numeric
+    assert any("null together" in e
+               for e in validate_serving_rows([bad_half_null]))
+    assert any("slo_attainment" in e for e in validate_serving_rows(
+        [dict(good, slo_attainment=1.5)]))
+    assert any("positive" in e for e in validate_serving_rows(
+        [dict(good, throughput_rps=0.0)]))
+    assert any("unknown fields" in e for e in validate_serving_rows(
+        [dict(good, surprise=1)]))
+
+
+def test_format_reports_renders_every_cell():
+    res = _result([(0.0, 1.0, 4.0, 4)])
+    reports = [summarize(res, "chat", m) for m in ("torch", "tilelink")]
+    out = format_reports(reports, "unit test")
+    assert "torch" in out and "tilelink" in out and "SLO %" in out
+
+
+def test_reports_compare_by_value():
+    res = _result([(0.0, 1.0, 4.0, 4)])
+    assert summarize(res, "chat", "torch") == summarize(res, "chat", "torch")
+    assert isinstance(summarize(res, "chat", "torch"), ServingReport)

@@ -97,3 +97,19 @@ def test_make_ctx_options():
     ctx = make_ctx(world=2, numerics=True, n_nodes=2)
     assert ctx.world_size == 2
     assert ctx.machine.config.n_nodes == 2
+
+
+def test_env_flag_parses_case_insensitively(monkeypatch):
+    """REPRO_FAST=False must *not* enable fast mode (the old exact-match
+    parse only excluded lowercase "false")."""
+    from repro.bench.harness import env_flag
+
+    for off in ("0", "", "false", "False", "FALSE", " no ", "off", "OFF"):
+        monkeypatch.setenv("REPRO_TEST_FLAG", off)
+        assert not env_flag("REPRO_TEST_FLAG"), off
+    for on in ("1", "true", "True", "YES", "on", "2"):
+        monkeypatch.setenv("REPRO_TEST_FLAG", on)
+        assert env_flag("REPRO_TEST_FLAG"), on
+    monkeypatch.delenv("REPRO_TEST_FLAG")
+    assert not env_flag("REPRO_TEST_FLAG")
+    assert env_flag("REPRO_TEST_FLAG", default="1")

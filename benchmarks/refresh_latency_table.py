@@ -18,8 +18,11 @@ without a refresh:
     python benchmarks/refresh_latency_table.py --check      # CI tripwire
     python benchmarks/refresh_latency_table.py              # regenerate
 
-A cold refresh simulates ``len(DEFAULT_BUCKETS)`` (= 8) ``build_layer``
-points per (model, method) — well under a minute of wall time.
+A cold refresh simulates ``len(DEFAULT_BUCKETS) x
+len(DEFAULT_CTX_BUCKETS)`` (= 8 x 4) ``build_layer`` points per
+(model, method) — the context-bucket axis prices decode as a function
+of resident KV — which takes a few minutes of wall time.  ``--check``
+also fails when either bucket ladder drifted from the defaults.
 """
 
 from __future__ import annotations
@@ -35,6 +38,7 @@ from repro.config import H800
 from repro.models.configs import E2E_MODELS, ModelConfig
 from repro.serve.latency import (
     DEFAULT_BUCKETS,
+    DEFAULT_CTX_BUCKETS,
     StepLatencyTable,
     entry_key,
 )
@@ -77,8 +81,10 @@ def check(path: Path) -> int:
     stale_buckets = sorted(
         label for label, key in expected.items()
         if key in table.keys()
-        and list((table.entry(key) or {}).get("buckets", ())) !=
-        list(DEFAULT_BUCKETS))
+        and (list((table.entry(key) or {}).get("buckets", ())) !=
+             list(DEFAULT_BUCKETS)
+             or list((table.entry(key) or {}).get("ctx_buckets", ())) !=
+             list(DEFAULT_CTX_BUCKETS)))
     if missing or extra or stale_buckets:
         for label in missing:
             print(f"STALE: no entry for {label} (spec fingerprint or "
@@ -86,8 +92,9 @@ def check(path: Path) -> int:
         for key in extra:
             print(f"STALE: orphaned entry {key}", file=sys.stderr)
         for label in stale_buckets:
-            print(f"STALE: {label} was built on a different bucket "
-                  f"ladder than {list(DEFAULT_BUCKETS)}", file=sys.stderr)
+            print(f"STALE: {label} bucket axis is stale — built on a "
+                  f"different ladder than {list(DEFAULT_BUCKETS)} x "
+                  f"{list(DEFAULT_CTX_BUCKETS)}", file=sys.stderr)
         print(f"STALE: refresh with "
               f"`python benchmarks/refresh_latency_table.py`",
               file=sys.stderr)
@@ -100,7 +107,8 @@ def check(path: Path) -> int:
 def refresh(path: Path) -> int:
     entries = expected_entries()
     print(f"Refreshing {path}: {len(entries)} entries x "
-          f"{len(DEFAULT_BUCKETS)} buckets (world={WORLD}) ...")
+          f"{len(DEFAULT_BUCKETS)} token buckets x "
+          f"{len(DEFAULT_CTX_BUCKETS)} context buckets (world={WORLD}) ...")
     # build into a fresh sibling file, then atomically replace the
     # target: a refreshed table contains exactly the expected entries.
     fd, tmp = tempfile.mkstemp(dir=str(path.parent), prefix=path.name,
@@ -113,14 +121,15 @@ def refresh(path: Path) -> int:
         for label, model, method in entries:
             print(f"  {label} ...")
             table.ensure(model, method, world=WORLD, seed=SEED,
-                         buckets=DEFAULT_BUCKETS)
+                         buckets=DEFAULT_BUCKETS,
+                         ctx_buckets=DEFAULT_CTX_BUCKETS)
         os.replace(tmp, path)
     except BaseException:
         if os.path.exists(tmp):
             os.unlink(tmp)
         raise
-    print(f"{len(entries) * len(DEFAULT_BUCKETS)} simulations, "
-          f"{time.time() - t0:.1f}s wall -> {path}")
+    print(f"{len(entries) * len(DEFAULT_BUCKETS) * len(DEFAULT_CTX_BUCKETS)}"
+          f" simulations, {time.time() - t0:.1f}s wall -> {path}")
     return check(path)
 
 

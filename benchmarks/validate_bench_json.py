@@ -15,8 +15,10 @@ Three row shapes are covered, selected with ``--schema``:
 * ``serving`` — ``ServingReport.row()`` dumps (one object per
   (scenario, method) cell) as written by ``benchmarks/bench_serving.py``
   when ``REPRO_SERVE_ROWS`` is set: throughput, TTFT/TPOT percentiles,
-  queue depth and SLO attainment.  TPOT is ``null`` (on *both*
-  percentile fields) exactly when no request ever decoded.
+  queue depth/wait, preemption and recompute totals, pool occupancy and
+  SLO attainment.  TPOT is ``null`` (on *both* percentile fields)
+  exactly when no request ever decoded; the pool-occupancy pair is
+  ``null`` together exactly when the run had no KV pool.
 
 This validator is the CI tripwire that keeps the contracts from
 rotting: it fails loudly when the file is missing, empty, non-strict
@@ -69,6 +71,13 @@ SERVING_ROW_SCHEMA = {
     "queue_depth_p50": (int, float),
     "queue_depth_max": (int,),
     "slo_attainment": (int, float),
+    "queue_wait_p50_s": (int, float),
+    "queue_wait_p99_s": (int, float),
+    "preempt_stall_p99_s": (int, float),
+    "n_preemptions": (int,),
+    "recompute_tokens": (int,),
+    "pool_occupancy_p50": (int, float, None),
+    "pool_occupancy_max": (int, float, None),
 }
 
 
@@ -164,6 +173,24 @@ def _serving_row_check(i: int, row: dict) -> list[str]:
         errors.append(f"row {i}: tpot_p50_s and tpot_p99_s must be null "
                       f"together (got {row.get('tpot_p50_s')!r}, "
                       f"{row.get('tpot_p99_s')!r})")
+    for field in ("queue_wait_p50_s", "queue_wait_p99_s",
+                  "preempt_stall_p99_s", "n_preemptions",
+                  "recompute_tokens"):
+        if _is_number(row.get(field)) and row[field] < 0:
+            errors.append(f"row {i}: field {field!r} must be >= 0, "
+                          f"got {row[field]}")
+    for field in ("pool_occupancy_p50", "pool_occupancy_max"):
+        if _is_number(row.get(field)) and not 0.0 <= row[field] <= 1.0:
+            errors.append(f"row {i}: field {field!r} must be in [0, 1], "
+                          f"got {row[field]}")
+    # pool stats are null exactly when the run had no KV pool — same
+    # null-together discipline as TPOT
+    if (row.get("pool_occupancy_p50") is None) != \
+            (row.get("pool_occupancy_max") is None):
+        errors.append(f"row {i}: pool_occupancy_p50 and pool_occupancy_max "
+                      f"must be null together "
+                      f"(got {row.get('pool_occupancy_p50')!r}, "
+                      f"{row.get('pool_occupancy_max')!r})")
     return errors
 
 

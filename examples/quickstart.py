@@ -79,7 +79,8 @@ def main() -> None:
           "time approaches max(comm, compute).")
     print("Next stop: python examples/serving.py — the same kernels "
           "composed into a continuous-batching server under heavy "
-          "traffic (throughput / TTFT / SLO curves).")
+          "traffic (throughput / TTFT / SLO curves, and a paged KV "
+          "pool under memory pressure).")
 
 
 if __name__ == "__main__":

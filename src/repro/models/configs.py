@@ -78,6 +78,12 @@ class ModelConfig:
     ``moe`` models replace the dense MLP with an expert layer;
     ``shared_intermediate`` > 0 adds a dense (shared-expert) MLP beside the
     MoE layer (Qwen1.5's architecture — §7.3).
+
+    ``kv_len`` > 0 switches the attention core into decode mode: the
+    step's tokens are queries attending over ``kv_len`` resident
+    KV-cache tokens (non-causal, the cache is all past context) instead
+    of causally over themselves.  The serving latency table probes the
+    same architecture over a (step-tokens, kv_len) grid this way.
     """
 
     name: str
@@ -92,6 +98,7 @@ class ModelConfig:
     shared_intermediate: int = 0
     batch: int = 4
     seq_len: int = 8192
+    kv_len: int = 0
 
     @property
     def tokens(self) -> int:
@@ -102,6 +109,16 @@ class ModelConfig:
         ``tokens``) — the serving simulator's step-latency table probes
         each model over a ladder of these variants."""
         return replace(self, batch=1, seq_len=tokens)
+
+    def with_context(self, kv_tokens: int) -> "ModelConfig":
+        """This variant attending over ``kv_tokens`` resident KV-cache
+        tokens (the latency table's context-bucket axis)."""
+        return replace(self, kv_len=kv_tokens)
+
+    def kv_bytes_per_token(self, dtype_bytes: int = 2) -> int:
+        """Whole-model KV-cache footprint of one token, in bytes
+        (K and V per layer, every head, summed over the node's shards)."""
+        return 2 * self.n_layers * self.heads * self.head_dim * dtype_bytes
 
 
 E2E_MODELS: list[ModelConfig] = [

@@ -133,16 +133,31 @@ def build_attention_block(ctx: DistContext, model: ModelConfig, method: str,
              f"{tag}.x", f"{tag}.w_qkv", f"{tag}.qkv", tag=f"{tag}.qkv_proj",
              warm=warm)
 
-    # core attention: per (batch x local head) over the full sequence
+    # core attention: per (batch x local head).  kv_len == 0 is the
+    # prefill form (queries attend causally over themselves); kv_len > 0
+    # is the decode form — the step's tokens are queries reading a
+    # kv_len-token resident cache (non-causal: the cache is all past
+    # context), which is what makes long-context decode steps pay for
+    # their KV in both flash inner steps and HBM traffic.
     attn_w = model.heads * model.head_dim // world
     q = ctx.alloc(f"{tag}.q", (model.seq_len, model.batch * attn_w),
                   "float16", fill=None)
     o = ctx.alloc(f"{tag}.o", (model.seq_len, model.batch * attn_w),
                   "float16", fill=None)
-    for rank in range(world):
-        flash_attention_op(
-            ctx, rank, q[rank], q[rank], q[rank], o[rank],
-            heads=model.batch * heads_local, dim=model.head_dim, causal=True)
+    if model.kv_len > 0:
+        kv = ctx.alloc(f"{tag}.kv", (model.kv_len, model.batch * attn_w),
+                       "float16", fill=None)
+        for rank in range(world):
+            flash_attention_op(
+                ctx, rank, q[rank], kv[rank], kv[rank], o[rank],
+                heads=model.batch * heads_local, dim=model.head_dim,
+                causal=False)
+    else:
+        for rank in range(world):
+            flash_attention_op(
+                ctx, rank, q[rank], q[rank], q[rank], o[rank],
+                heads=model.batch * heads_local, dim=model.head_dim,
+                causal=True)
 
     ctx.alloc(f"{tag}.ctx", (tokens, attn_w), "float16", fill=None)
     ctx.alloc(f"{tag}.w_o", (attn_w, h), "float16", fill=None)

@@ -7,17 +7,24 @@ traffic.  Four stages, one module each:
 
 * :mod:`repro.serve.workload` — seeded request generators
   (Poisson / bursty / wave arrivals, log-normal prompt/output lengths,
-  named scenario presets ``chat`` / ``rag`` / ``batch-summarize``, and
-  trace replay);
+  named scenario presets ``chat`` / ``rag`` / ``batch-summarize`` /
+  ``long-context``, and trace replay);
 * :mod:`repro.serve.latency` — :class:`StepLatencyTable`, a memoised
-  ladder of :func:`repro.models.runner.layer_time` simulations per
-  (model, method, token-bucket) that the serving loop interpolates, so
-  millions of requests simulate in seconds on one CPU;
+  grid of :func:`repro.models.runner.layer_time` simulations per
+  (model, method, token-bucket, context-bucket) that the serving loop
+  interpolates bilinearly, so millions of requests simulate in seconds
+  on one CPU and decode is priced by resident KV context;
+* :mod:`repro.serve.blockpool` / :mod:`repro.serve.kv` — the paged
+  KV-cache block pool and the per-model :class:`KVCacheManager` wrapping
+  it (footprint sizing, watermark admission, pluggable victim policies);
 * :mod:`repro.serve.scheduler` — deterministic continuous batching with
   separate prefill/decode phases, ``max_batch`` / ``max_prefill_tokens``
-  admission and pluggable queue policies (FCFS, shortest-prompt-first);
+  admission, pluggable queue policies (FCFS, shortest-prompt-first) and,
+  given a :class:`KVCacheConfig`, memory-aware admission with
+  preemption-by-recompute under pool pressure;
 * :mod:`repro.serve.metrics` — throughput, p50/p99 TTFT and TPOT,
-  queue depth and SLO attainment, with strict-JSON report rows.
+  queue depth/wait, preemption and pool-occupancy statistics and SLO
+  attainment, with strict-JSON report rows.
 
 One-call flow::
 
@@ -34,8 +41,17 @@ turns the serving curves into the repo's traffic-level
 TileLink-vs-baseline comparison — see ``benchmarks/bench_serving.py``.
 """
 
+from repro.serve.blockpool import BlockPool
+from repro.serve.kv import (
+    ADMISSIONS,
+    KVCacheConfig,
+    KVCacheManager,
+    KVFootprint,
+    VICTIM_POLICIES,
+)
 from repro.serve.latency import (
     DEFAULT_BUCKETS,
+    DEFAULT_CTX_BUCKETS,
     ENV_LATENCY_TABLE,
     StepLatencyTable,
     entry_key,
@@ -66,10 +82,11 @@ from repro.serve.workload import (
 )
 
 __all__ = [
-    "DEFAULT_BUCKETS", "ENV_LATENCY_TABLE", "POLICIES", "Request",
-    "RequestLog", "SCENARIOS", "Scenario", "ServeResult", "ServerConfig",
-    "ServingReport", "SloSpec", "StepLatencyTable", "entry_key",
-    "format_reports", "generate_requests", "latency_table_path",
-    "model_key", "percentile", "replay_trace", "resolve_latency_table",
-    "serve", "summarize",
+    "ADMISSIONS", "BlockPool", "DEFAULT_BUCKETS", "DEFAULT_CTX_BUCKETS",
+    "ENV_LATENCY_TABLE", "KVCacheConfig", "KVCacheManager", "KVFootprint",
+    "POLICIES", "Request", "RequestLog", "SCENARIOS", "Scenario",
+    "ServeResult", "ServerConfig", "ServingReport", "SloSpec",
+    "StepLatencyTable", "VICTIM_POLICIES", "entry_key", "format_reports",
+    "generate_requests", "latency_table_path", "model_key", "percentile",
+    "replay_trace", "resolve_latency_table", "serve", "summarize",
 ]

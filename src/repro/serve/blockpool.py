@@ -1,0 +1,138 @@
+"""Paged KV-cache block pool (vLLM-style PagedAttention accounting).
+
+A real serving engine never allocates KV cache contiguously per request:
+HBM is carved into fixed-size *blocks* of ``block_tokens`` tokens each,
+and every request owns however many blocks its resident context needs —
+allocated at admission, grown one boundary at a time during decode,
+returned wholesale on finish or preemption.  :class:`BlockPool` is that
+ledger: explicit block ids, a LIFO free list, per-owner ownership lists,
+and hard invariants (allocation beyond capacity raises, double-free
+raises, a block is never owned twice) so the serving scheduler's memory
+story can be checked to the block.
+
+The pool is pure bookkeeping — no simulated time passes here.  Sizing
+(bytes per token, blocks from a byte budget) lives one layer up in
+:mod:`repro.serve.kv`.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.errors import ServeError
+
+__all__ = ["BlockPool"]
+
+
+class BlockPool:
+    """Fixed-capacity pool of identical KV-cache blocks.
+
+    Owners are opaque hashables (the scheduler uses request ids).  The
+    free list is LIFO over explicit block ids, so allocation order — and
+    therefore every downstream metric — is deterministic.
+    """
+
+    def __init__(self, n_blocks: int, block_tokens: int):
+        if n_blocks < 1:
+            raise ServeError(f"BlockPool needs >= 1 block, got {n_blocks}")
+        if block_tokens < 1:
+            raise ServeError(f"block_tokens must be >= 1, got {block_tokens}")
+        self.capacity = int(n_blocks)
+        self.block_tokens = int(block_tokens)
+        # ids pop in ascending order (LIFO list built high-to-low)
+        self._free: list[int] = list(range(self.capacity - 1, -1, -1))
+        self._owned: dict[Hashable, list[int]] = {}
+
+    # -- sizing --------------------------------------------------------------
+
+    def blocks_for(self, tokens: int) -> int:
+        """Blocks covering ``tokens`` tokens (ceil to the block grain)."""
+        if tokens < 0:
+            raise ServeError(f"token count must be >= 0, got {tokens}")
+        return -(-tokens // self.block_tokens)
+
+    # -- allocation ----------------------------------------------------------
+
+    def alloc(self, owner: Hashable, n_blocks: int) -> list[int]:
+        """Give ``owner`` ``n_blocks`` more blocks; returns their ids.
+
+        Raises :class:`ServeError` when the pool cannot satisfy the
+        request — the caller must free or preempt first, occupancy can
+        never exceed capacity.
+        """
+        if n_blocks < 0:
+            raise ServeError(f"cannot alloc {n_blocks} blocks")
+        if n_blocks > len(self._free):
+            raise ServeError(
+                f"pool exhausted: {owner!r} wants {n_blocks} blocks, "
+                f"{len(self._free)}/{self.capacity} free")
+        got = [self._free.pop() for _ in range(n_blocks)]
+        self._owned.setdefault(owner, []).extend(got)
+        return got
+
+    def grow_to(self, owner: Hashable, tokens: int) -> int:
+        """Grow ``owner`` to cover ``tokens`` tokens; returns how many
+        new blocks that took (0 when the current blocks already cover
+        it).  The owner must already hold an allocation."""
+        held = self._owned.get(owner)
+        if held is None:
+            raise ServeError(f"grow_to: {owner!r} owns no blocks")
+        need = self.blocks_for(tokens) - len(held)
+        if need <= 0:
+            return 0
+        self.alloc(owner, need)
+        return need
+
+    def blocks_to_grow(self, owner: Hashable, tokens: int) -> int:
+        """How many new blocks :meth:`grow_to` *would* allocate."""
+        held = self._owned.get(owner)
+        if held is None:
+            raise ServeError(f"blocks_to_grow: {owner!r} owns no blocks")
+        return max(0, self.blocks_for(tokens) - len(held))
+
+    def free(self, owner: Hashable) -> int:
+        """Return every block ``owner`` holds; returns the count.
+
+        Freeing an unknown owner raises — that is the double-free /
+        leak tripwire the accounting tests rely on.
+        """
+        held = self._owned.pop(owner, None)
+        if held is None:
+            raise ServeError(f"free: {owner!r} owns no blocks "
+                             f"(double free or never allocated)")
+        self._free.extend(reversed(held))
+        return len(held)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def free_blocks(self) -> int:
+        return len(self._free)
+
+    @property
+    def used_blocks(self) -> int:
+        return self.capacity - len(self._free)
+
+    def occupancy(self) -> float:
+        """Used fraction of the pool, in [0, 1]."""
+        return self.used_blocks / self.capacity
+
+    def owners(self) -> tuple[Hashable, ...]:
+        return tuple(self._owned)
+
+    def owned(self, owner: Hashable) -> tuple[int, ...]:
+        """Block ids ``owner`` currently holds (empty when none)."""
+        return tuple(self._owned.get(owner, ()))
+
+    def check_invariants(self) -> None:
+        """Raise :class:`ServeError` on any ledger corruption: every
+        block accounted for exactly once across free list + owners."""
+        seen = list(self._free)
+        for owner, held in self._owned.items():
+            if not held:
+                raise ServeError(f"invariant: {owner!r} owns an empty list")
+            seen.extend(held)
+        if sorted(seen) != list(range(self.capacity)):
+            raise ServeError(
+                f"invariant: ledger covers {len(seen)} block slots, "
+                f"expected each of {self.capacity} exactly once")

@@ -1,0 +1,195 @@
+"""KV-cache memory model for the serving simulator.
+
+The PR-5 step law had two big lies versus a real deployment: decode
+ignored context length, and memory was infinite.  This module fixes the
+second (the latency table's context axis fixes the first): a
+per-request KV footprint derived from :class:`ModelConfig` (K and V per
+layer x heads x head_dim x dtype bytes per resident token), a paged
+:class:`~repro.serve.blockpool.BlockPool` sized in tokens or bytes, and
+the admission/eviction policy surface the scheduler drives:
+
+* **admission** — ``"kv-aware"`` only admits a request when the pool
+  can hold its resident context and still keep a ``watermark`` fraction
+  free for decode growth; ``"naive"`` pretends memory is free — a
+  fresh prompt evicts running requests until its context fits, and the
+  victims' contexts must later re-prefill (evicted requests themselves
+  re-admit only into genuinely free blocks, which bounds the thrash);
+* **preemption** — eviction-and-recompute: a victim's blocks are freed,
+  the request re-enters the waiting queue, and on re-admission its
+  whole resident context (prompt + tokens generated so far) re-prefills.
+  Victim selection is pluggable via :data:`VICTIM_POLICIES`
+  (``"last-admitted"``, vLLM's default, vs ``"longest-context"``, evict
+  the biggest memory hog).
+
+:class:`KVCacheManager` binds one config to one model and owns the
+pool; :func:`repro.serve.scheduler.serve` takes it as the optional
+``kv`` argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ServeError
+from repro.models.configs import ModelConfig
+from repro.serve.blockpool import BlockPool
+
+__all__ = ["ADMISSIONS", "KVCacheConfig", "KVCacheManager", "KVFootprint",
+           "VICTIM_POLICIES"]
+
+#: admission policies the scheduler understands (gate logic lives there)
+ADMISSIONS = ("kv-aware", "naive")
+
+#: victim selection: the running entry with the *max* key is evicted.
+#: Entries expose ``admit_seq`` (monotone admission counter) and
+#: ``resident`` (resident KV tokens); ties break on admit_seq so
+#: eviction order is always deterministic.
+VICTIM_POLICIES: dict[str, Callable[[object], tuple]] = {
+    "last-admitted": lambda e: (e.admit_seq,),
+    "longest-context": lambda e: (e.resident, e.admit_seq),
+}
+
+
+@dataclass(frozen=True)
+class KVFootprint:
+    """Whole-model KV bytes per resident token."""
+
+    bytes_per_token: int
+
+    @classmethod
+    def from_model(cls, model: ModelConfig,
+                   dtype_bytes: int = 2) -> "KVFootprint":
+        """K + V per layer x heads x head_dim at ``dtype_bytes`` per
+        element, summed over the node (the pool models the whole
+        TP group's HBM, so shards are aggregated)."""
+        return cls(model.kv_bytes_per_token(dtype_bytes))
+
+    def tokens_for_bytes(self, nbytes: float) -> int:
+        """How many resident tokens fit in ``nbytes``."""
+        return int(nbytes // self.bytes_per_token)
+
+    def bytes_for_tokens(self, tokens: int) -> int:
+        return tokens * self.bytes_per_token
+
+
+@dataclass(frozen=True)
+class KVCacheConfig:
+    """KV pool knobs: block grain, capacity, admission and eviction.
+
+    Capacity is given either directly in blocks (``pool_blocks``) or as
+    a byte budget (``pool_bytes``, converted through the model's
+    footprint).  ``watermark`` is the fraction of the pool kv-aware
+    admission keeps free for decode growth of the already-running batch
+    — it is ignored when the batch is empty, so a request that fits the
+    pool at all is always eventually servable.
+    """
+
+    block_tokens: int = 64
+    pool_blocks: int | None = None
+    pool_bytes: float | None = None
+    admission: str = "kv-aware"     # kv-aware | naive
+    victim: str = "last-admitted"   # last-admitted | longest-context
+    watermark: float = 0.1
+
+    def validate(self) -> None:
+        if self.block_tokens < 1:
+            raise ServeError(f"block_tokens must be >= 1, got "
+                             f"{self.block_tokens}")
+        if (self.pool_blocks is None) == (self.pool_bytes is None):
+            raise ServeError("set exactly one of pool_blocks / pool_bytes")
+        if self.pool_blocks is not None and self.pool_blocks < 1:
+            raise ServeError(f"pool_blocks must be >= 1, got "
+                             f"{self.pool_blocks}")
+        if self.pool_bytes is not None and not self.pool_bytes > 0:
+            raise ServeError(f"pool_bytes must be positive, got "
+                             f"{self.pool_bytes}")
+        if self.admission not in ADMISSIONS:
+            raise ServeError(f"unknown admission {self.admission!r}; "
+                             f"expected one of {ADMISSIONS}")
+        if self.victim not in VICTIM_POLICIES:
+            raise ServeError(f"unknown victim policy {self.victim!r}; "
+                             f"expected one of {sorted(VICTIM_POLICIES)}")
+        if not 0.0 <= self.watermark < 1.0:
+            raise ServeError(f"watermark must be in [0, 1), got "
+                             f"{self.watermark}")
+
+    def resolve_blocks(self, footprint: KVFootprint) -> int:
+        """Pool capacity in blocks for this config + model footprint."""
+        if self.pool_blocks is not None:
+            return self.pool_blocks
+        tokens = footprint.tokens_for_bytes(self.pool_bytes)
+        blocks = tokens // self.block_tokens
+        if blocks < 1:
+            raise ServeError(
+                f"pool_bytes={self.pool_bytes:.3g} holds {tokens} tokens — "
+                f"not even one {self.block_tokens}-token block at "
+                f"{footprint.bytes_per_token} B/token")
+        return blocks
+
+
+class KVCacheManager:
+    """One model's KV pool: token-grain admission/growth over the
+    block-grain :class:`BlockPool`."""
+
+    def __init__(self, config: KVCacheConfig, model: ModelConfig):
+        config.validate()
+        self.config = config
+        self.footprint = KVFootprint.from_model(model)
+        self.pool = BlockPool(config.resolve_blocks(self.footprint),
+                              config.block_tokens)
+        #: blocks kv-aware admission keeps free for decode growth
+        self.watermark_blocks = int(config.watermark * self.pool.capacity)
+
+    # -- capacity queries ----------------------------------------------------
+
+    @property
+    def capacity_blocks(self) -> int:
+        return self.pool.capacity
+
+    @property
+    def capacity_tokens(self) -> int:
+        return self.pool.capacity * self.pool.block_tokens
+
+    @property
+    def free_blocks(self) -> int:
+        return self.pool.free_blocks
+
+    def occupancy(self) -> float:
+        return self.pool.occupancy()
+
+    def blocks_for(self, tokens: int) -> int:
+        return self.pool.blocks_for(tokens)
+
+    def can_ever_fit(self, tokens: int) -> bool:
+        """Whether ``tokens`` resident tokens fit an *empty* pool."""
+        return self.blocks_for(tokens) <= self.pool.capacity
+
+    def can_admit(self, tokens: int, batch_empty: bool = False) -> bool:
+        """kv-aware admission gate for a ``tokens``-token resident
+        context.  With a non-empty batch the pool must stay above the
+        watermark after admission; with an empty batch plain fit is
+        enough (progress guarantee)."""
+        need = self.blocks_for(tokens)
+        if batch_empty:
+            return need <= self.pool.free_blocks
+        return need <= self.pool.free_blocks - self.watermark_blocks
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def admit(self, rid: int, tokens: int) -> None:
+        """Allocate the blocks for a request entering the batch with
+        ``tokens`` resident tokens (prompt, plus any recomputed
+        generation after a preemption)."""
+        self.pool.alloc(rid, self.blocks_for(tokens))
+
+    def grow_to(self, rid: int, tokens: int) -> int:
+        """Grow ``rid``'s allocation to ``tokens`` resident tokens."""
+        return self.pool.grow_to(rid, tokens)
+
+    def blocks_to_grow(self, rid: int, tokens: int) -> int:
+        return self.pool.blocks_to_grow(rid, tokens)
+
+    def release(self, rid: int) -> int:
+        """Free every block of a finished or preempted request."""
+        return self.pool.free(rid)

@@ -21,9 +21,18 @@ prefill step processes the admitted prompts' tokens, a decode step one
 token per running request.  Both phases are priced as a tensor-parallel
 layer at the step's total token count — the causal-attention term makes
 long-prompt prefill superlinear (as it should be), while short decode
-steps sit on the fixed-overhead floor.  The approximation ignores
-KV-cache length during decode; it is shared by every ``method``, so the
-TileLink-vs-baseline comparisons the table exists for are apples to
+steps sit on the fixed-overhead floor.
+
+Since the KV-aware serving layer landed, each entry also carries a
+**context-bucket axis**: the grid ``layer_s[ctx][tok]`` prices a step of
+``tok`` tokens attending over ``ctx`` resident KV-cache tokens
+(simulated through ``ModelConfig.with_context`` — non-causal decode
+attention reading the cache), and the interpolator is bilinear over
+(tokens, context).  Context 0 is the prefill form and reproduces the
+old one-axis table exactly; decode steps pass the running batch's total
+resident KV so long-context decode pays for its cache in both flash
+steps and HBM traffic.  The model is shared by every ``method``, so the
+TileLink-vs-baseline comparisons the table exists for stay apples to
 apples.
 
 The checked-in table (``benchmarks/latency_table.json``, beside
@@ -48,7 +57,7 @@ from repro.errors import ServeError
 from repro.models.configs import ModelConfig
 from repro.util.jsonstore import VersionedJsonStore
 
-_VERSION = 1
+_VERSION = 2        # v2: entries grew the context-bucket axis
 
 #: Environment override for the shipped latency-table location.
 ENV_LATENCY_TABLE = "REPRO_LATENCY_TABLE"
@@ -57,6 +66,12 @@ ENV_LATENCY_TABLE = "REPRO_LATENCY_TABLE"
 #: tile-aligned (see ``transformer._row_tile``); 64 covers decode steps,
 #: 8192 the largest admissible prefill chunk.
 DEFAULT_BUCKETS = (64, 128, 256, 512, 1024, 2048, 4096, 8192)
+
+#: Default resident-KV ladder.  0 is the prefill form (and the exact
+#: old one-axis behaviour); the non-zero rungs cover a long-context
+#: decode batch up to ~128k total resident tokens, beyond which the
+#: interpolator extrapolates on the last segment.
+DEFAULT_CTX_BUCKETS = (0, 8192, 32768, 131072)
 
 
 def latency_table_path() -> Path:
@@ -147,13 +162,15 @@ class StepLatencyTable(VersionedJsonStore):
     def ensure(self, model: ModelConfig, method: str, world: int = 8,
                spec: HardwareSpec = H800,
                buckets: Iterable[int] = DEFAULT_BUCKETS, seed: int = 0,
+               ctx_buckets: Iterable[int] = DEFAULT_CTX_BUCKETS,
                progress: Callable[[str], None] | None = None) -> dict:
-        """Simulate (or reuse) this entry's bucket ladder; returns it.
+        """Simulate (or reuse) this entry's bucket grid; returns it.
 
-        An existing entry with the same bucket ladder is returned as-is
-        (zero simulation); a differing ladder is resimulated whole so an
-        entry is always internally consistent.  On a ``readonly`` table
-        the fresh entry lives only in memory.
+        An existing entry with the same token *and* context ladders is
+        returned as-is (zero simulation); a differing ladder on either
+        axis is resimulated whole so an entry is always internally
+        consistent.  On a ``readonly`` table the fresh entry lives only
+        in memory.
         """
         from repro.models.runner import layer_time
 
@@ -162,17 +179,32 @@ class StepLatencyTable(VersionedJsonStore):
             # >= 2 points: the interpolator needs a segment to
             # extrapolate from above the largest bucket
             raise ServeError(f"invalid bucket ladder {buckets}")
+        ctx_buckets = sorted(set(int(c) for c in ctx_buckets))
+        if len(ctx_buckets) < 2 or ctx_buckets[0] != 0:
+            # the 0 rung is the prefill form; >= 2 rungs give the
+            # context axis a segment to extrapolate from
+            raise ServeError(f"invalid context-bucket ladder {ctx_buckets}")
         key = entry_key(model, method, world, spec, seed)
         entry = self._load().get(key)
-        if entry is not None and list(entry.get("buckets", ())) == buckets:
+        if entry is not None and \
+                list(entry.get("buckets", ())) == buckets and \
+                list(entry.get("ctx_buckets", ())) == ctx_buckets:
             return entry
-        times = []
-        for b in buckets:
-            if progress is not None:
-                progress(f"  simulate {model.name}/{method} @ {b} tokens")
-            times.append(layer_time(model.with_tokens(b), method,
-                                    world=world, seed=seed, spec=spec))
-        entry = {"buckets": buckets, "layer_s": times,
+        grid = []
+        for c in ctx_buckets:
+            row = []
+            for b in buckets:
+                if progress is not None:
+                    progress(f"  simulate {model.name}/{method} @ {b} "
+                             f"tokens, {c} resident KV")
+                variant = model.with_tokens(b)
+                if c > 0:
+                    variant = variant.with_context(c)
+                row.append(layer_time(variant, method, world=world,
+                                      seed=seed, spec=spec))
+            grid.append(row)
+        entry = {"buckets": buckets, "ctx_buckets": ctx_buckets,
+                 "layer_s": grid,
                  "meta": {"model": model.name, "method": method,
                           "world": world, "seed": seed}}
         self._load()[key] = entry
@@ -183,12 +215,14 @@ class StepLatencyTable(VersionedJsonStore):
 
     def interpolator(self, model: ModelConfig, method: str, world: int = 8,
                      spec: HardwareSpec = H800,
-                     seed: int = 0) -> Callable[[int], float]:
-        """A fast ``tokens -> step seconds`` closure for one entry.
+                     seed: int = 0) -> Callable[..., float]:
+        """A fast ``(tokens, ctx) -> step seconds`` closure for one entry.
 
-        The serving loop calls this millions of times; resolving the
-        entry once and closing over plain lists keeps the per-step cost
-        to a bisect and a multiply.
+        ``ctx`` is the batch's total resident KV tokens and defaults to
+        0 (the prefill form).  The serving loop calls this millions of
+        times; resolving the entry once and closing over plain lists
+        keeps the per-step cost to two bisects and a handful of
+        multiplies.
         """
         key = entry_key(model, method, world, spec, seed)
         entry = self._load().get(key)
@@ -199,25 +233,41 @@ class StepLatencyTable(VersionedJsonStore):
                 f"with StepLatencyTable.ensure() or refresh the shipped "
                 f"table via benchmarks/refresh_latency_table.py")
         buckets = [int(b) for b in entry["buckets"]]
-        layer_s = [float(t) for t in entry["layer_s"]]
+        ctx_buckets = [int(c) for c in entry["ctx_buckets"]]
+        grid = [[float(t) for t in row] for row in entry["layer_s"]]
         n_layers = model.n_layers
         from bisect import bisect_left
 
-        def step_seconds(tokens: int) -> float:
+        def row_at(layer_s: list[float], tokens: int) -> float:
             if tokens <= buckets[0]:
                 # fixed launch/collective overheads dominate below the
                 # smallest bucket — charge its floor
-                per_layer = layer_s[0]
-            elif tokens >= buckets[-1]:
+                return layer_s[0]
+            if tokens >= buckets[-1]:
                 # extrapolate on the last segment's per-token slope
                 slope = ((layer_s[-1] - layer_s[-2])
                          / (buckets[-1] - buckets[-2]))
-                per_layer = layer_s[-1] + slope * (tokens - buckets[-1])
+                return layer_s[-1] + slope * (tokens - buckets[-1])
+            i = bisect_left(buckets, tokens)
+            lo_b, hi_b = buckets[i - 1], buckets[i]
+            lo_t, hi_t = layer_s[i - 1], layer_s[i]
+            frac = (tokens - lo_b) / (hi_b - lo_b)
+            return lo_t + frac * (hi_t - lo_t)
+
+        def step_seconds(tokens: int, ctx: int = 0) -> float:
+            if ctx <= ctx_buckets[0]:
+                per_layer = row_at(grid[0], tokens)
+            elif ctx >= ctx_buckets[-1]:
+                hi = row_at(grid[-1], tokens)
+                lo = row_at(grid[-2], tokens)
+                slope = (hi - lo) / (ctx_buckets[-1] - ctx_buckets[-2])
+                per_layer = hi + slope * (ctx - ctx_buckets[-1])
             else:
-                i = bisect_left(buckets, tokens)
-                lo_b, hi_b = buckets[i - 1], buckets[i]
-                lo_t, hi_t = layer_s[i - 1], layer_s[i]
-                frac = (tokens - lo_b) / (hi_b - lo_b)
+                i = bisect_left(ctx_buckets, ctx)
+                lo_c, hi_c = ctx_buckets[i - 1], ctx_buckets[i]
+                lo_t = row_at(grid[i - 1], tokens)
+                hi_t = row_at(grid[i], tokens)
+                frac = (ctx - lo_c) / (hi_c - lo_c)
                 per_layer = lo_t + frac * (hi_t - lo_t)
             return per_layer * n_layers
 
@@ -225,6 +275,8 @@ class StepLatencyTable(VersionedJsonStore):
 
     def step_time(self, model: ModelConfig, method: str, tokens: int,
                   world: int = 8, spec: HardwareSpec = H800,
-                  seed: int = 0) -> float:
-        """Seconds for one serving step of ``tokens`` total tokens."""
-        return self.interpolator(model, method, world, spec, seed)(tokens)
+                  seed: int = 0, ctx: int = 0) -> float:
+        """Seconds for one serving step of ``tokens`` total tokens
+        attending over ``ctx`` resident KV tokens."""
+        return self.interpolator(model, method, world, spec, seed)(tokens,
+                                                                   ctx)

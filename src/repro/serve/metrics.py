@@ -7,6 +7,11 @@ over the decode phase), queue-depth statistics, and SLO attainment (the
 fraction of requests meeting both a TTFT and a TPOT target — the "equal
 SLO" axis the TileLink-vs-baseline serving comparison is made at).
 
+KV-aware runs add the memory story: per-request queue-wait and
+preemption-stall percentiles, eviction and recompute-token totals, and
+pool-occupancy statistics (``None`` on both occupancy fields exactly
+when the run had no pool — the same null-together discipline as TPOT).
+
 All percentiles use deterministic linear interpolation (no numpy, no
 randomness), and :meth:`ServingReport.row` emits strict-JSON-safe rows
 (``None``, never ``NaN``) for ``validate_bench_json.py --schema
@@ -79,6 +84,14 @@ class ServingReport:
     queue_depth_p50: float
     queue_depth_max: int
     slo_attainment: float           # fraction of requests meeting the SLO
+    queue_wait_p50_s: float = 0.0   # arrival -> first admission
+    queue_wait_p99_s: float = 0.0
+    preempt_stall_p99_s: float = 0.0    # eviction -> back in the batch
+    n_preemptions: int = 0
+    recompute_tokens: int = 0
+    #: pool stats; None on both exactly when the run had no KV pool
+    pool_occupancy_p50: float | None = None
+    pool_occupancy_max: float | None = None
 
     def row(self) -> dict:
         """Strict-JSON row (``validate_bench_json.py --schema serving``)."""
@@ -93,6 +106,13 @@ class ServingReport:
             "queue_depth_p50": self.queue_depth_p50,
             "queue_depth_max": self.queue_depth_max,
             "slo_attainment": self.slo_attainment,
+            "queue_wait_p50_s": self.queue_wait_p50_s,
+            "queue_wait_p99_s": self.queue_wait_p99_s,
+            "preempt_stall_p99_s": self.preempt_stall_p99_s,
+            "n_preemptions": self.n_preemptions,
+            "recompute_tokens": self.recompute_tokens,
+            "pool_occupancy_p50": self.pool_occupancy_p50,
+            "pool_occupancy_max": self.pool_occupancy_max,
         }
 
 
@@ -108,9 +128,12 @@ def summarize(result: ServeResult, scenario: str, method: str,
                          f"unfinished (first: {unfinished[:3]})")
     ttfts = [l.ttft_s for l in logs]
     tpots = [l.tpot_s for l in logs if l.tpot_s is not None]
+    waits = [l.queue_wait_s for l in logs]
+    stalls = [l.preempt_stall_s for l in logs]
     makespan = result.makespan_s
     total_out = sum(l.request.output_tokens for l in logs)
     met = sum(slo.met_by(l.ttft_s, l.tpot_s) for l in logs)
+    occ = result.pool_occupancy if result.pool_blocks > 0 else None
     return ServingReport(
         scenario=scenario, method=method, policy=policy,
         n_requests=len(logs), makespan_s=makespan,
@@ -124,6 +147,13 @@ def summarize(result: ServeResult, scenario: str, method: str,
         queue_depth_max=(max(result.queue_depth)
                          if result.queue_depth else 0),
         slo_attainment=met / len(logs),
+        queue_wait_p50_s=percentile(waits, 50),
+        queue_wait_p99_s=percentile(waits, 99),
+        preempt_stall_p99_s=percentile(stalls, 99),
+        n_preemptions=result.n_preemptions,
+        recompute_tokens=result.recompute_tokens,
+        pool_occupancy_p50=(percentile(occ, 50) if occ else None),
+        pool_occupancy_max=(max(occ) if occ else None),
     )
 
 
@@ -131,7 +161,8 @@ def format_reports(reports: Sequence[ServingReport], title: str) -> str:
     """Paper-style table: one row per (scenario, method, policy)."""
     headers = ["scenario", "method", "policy", "req/s", "tok/s",
                "TTFT p50 (ms)", "TTFT p99 (ms)", "TPOT p50 (ms)",
-               "TPOT p99 (ms)", "queue max", "SLO %"]
+               "TPOT p99 (ms)", "wait p99 (s)", "preempt", "pool max",
+               "SLO %"]
     rows = []
     for r in reports:
         rows.append([
@@ -140,6 +171,9 @@ def format_reports(reports: Sequence[ServingReport], title: str) -> str:
             f"{r.ttft_p50_s * 1e3:.1f}", f"{r.ttft_p99_s * 1e3:.1f}",
             "-" if r.tpot_p50_s is None else f"{r.tpot_p50_s * 1e3:.2f}",
             "-" if r.tpot_p99_s is None else f"{r.tpot_p99_s * 1e3:.2f}",
-            r.queue_depth_max, f"{r.slo_attainment * 100:.1f}",
+            f"{r.queue_wait_p99_s:.2f}", r.n_preemptions,
+            ("-" if r.pool_occupancy_max is None
+             else f"{r.pool_occupancy_max * 100:.0f}%"),
+            f"{r.slo_attainment * 100:.1f}",
         ])
     return format_table(headers, rows, title=title)

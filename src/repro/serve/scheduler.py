@@ -19,9 +19,23 @@ GEMMs; decode steps ride the fixed-overhead floor).
 Admission order is pluggable: ``"fcfs"`` serves in arrival order,
 ``"spf"`` (shortest-prompt-first) lets cheap prompts jump the queue,
 trading tail fairness for median TTFT.  Step durations come from a
-:class:`~repro.serve.latency.StepLatencyTable`, so simulating millions
-of requests costs seconds of wall time and zero discrete-event
-simulation.  The loop is purely deterministic — (workload, table, knobs)
+:class:`~repro.serve.latency.StepLatencyTable`; decode steps are priced
+with the batch's total resident KV tokens through the table's context
+axis, so long-context decode is no longer free.
+
+Passing a :class:`~repro.serve.kv.KVCacheConfig` as ``kv`` adds the
+memory story: requests allocate paged KV blocks on admission, grow them
+during decode, free them on finish — and when the pool fills, the
+engine *preempts*: a victim (``kv.victim`` policy) loses its blocks and
+re-enters the waiting queue, and on re-admission its whole resident
+context re-prefills (eviction-and-recompute).  ``kv.admission`` selects
+whether admission keeps watermark headroom for decode growth
+(``"kv-aware"``) or pretends memory is free (``"naive"`` — fresh
+prompts evict running requests to make room, so under pressure the
+engine thrashes on recompute storms; evicted requests re-admit only
+into genuinely free blocks, which bounds the thrash).  With ``kv=None``
+(or a pool that never fills) the loop is exactly the memory-oblivious
+engine.  The loop is purely deterministic — (workload, table, knobs)
 fixes every output bit.
 """
 
@@ -34,6 +48,7 @@ from typing import Callable, Sequence
 from repro.config import H800, HardwareSpec
 from repro.errors import ServeError
 from repro.models.configs import ModelConfig
+from repro.serve.kv import KVCacheConfig, KVCacheManager, VICTIM_POLICIES
 from repro.serve.latency import StepLatencyTable
 from repro.serve.workload import Request
 
@@ -72,6 +87,14 @@ class RequestLog:
     request: Request
     first_token_s: float | None = None
     finish_s: float | None = None
+    #: arrival -> start of the first prefill step that admitted it
+    queue_wait_s: float = 0.0
+    #: times this request was evicted from the pool
+    n_preemptions: int = 0
+    #: total eviction -> back-in-the-batch time across preemptions
+    preempt_stall_s: float = 0.0
+    #: resident tokens re-prefilled after evictions (pure redundant work)
+    recompute_tokens: int = 0
 
     @property
     def ttft_s(self) -> float:
@@ -100,17 +123,39 @@ class ServeResult:
     queue_depth: list[int] = field(default_factory=list)
     #: running-batch size sampled once per engine step
     batch_size: list[int] = field(default_factory=list)
+    #: KV-pool capacity in blocks (0 == no pool configured)
+    pool_blocks: int = 0
+    #: pool occupancy in [0, 1] sampled once per engine step (KV runs)
+    pool_occupancy: list[float] = field(default_factory=list)
+    #: total evictions across the run
+    n_preemptions: int = 0
+    #: total re-prefilled resident tokens across the run
+    recompute_tokens: int = 0
+    #: largest total resident KV (tokens) the batch ever held
+    peak_resident_tokens: int = 0
+
+
+@dataclass
+class _Running:
+    """One request resident in the batch."""
+
+    req: Request
+    emitted: int        # tokens emitted so far (>= 1 once running)
+    resident: int       # resident KV tokens (prompt + decoded context)
+    admit_seq: int      # monotone admission counter (victim selection)
 
 
 def serve(requests: Sequence[Request], model: ModelConfig, method: str,
           table: StepLatencyTable, server: ServerConfig | None = None,
           world: int = 8, spec: HardwareSpec = H800,
-          seed: int = 0) -> ServeResult:
+          seed: int = 0, kv: KVCacheConfig | None = None) -> ServeResult:
     """Run the continuous-batching loop over ``requests``.
 
     ``method`` selects whose kernels price each step (``"torch"`` /
     ``"tilelink"`` / ``"tilelink-tuned"``), through ``table``'s
-    memoised step latencies — the run itself never simulates.
+    memoised step latencies — the run itself never simulates.  ``kv``
+    enables the paged KV-cache pool (admission gating + preemption);
+    ``None`` serves with infinite memory.
     """
     server = server or ServerConfig()
     server.validate()
@@ -119,15 +164,45 @@ def serve(requests: Sequence[Request], model: ModelConfig, method: str,
     step_seconds = table.interpolator(model, method, world=world, spec=spec,
                                       seed=seed)
     prio = POLICIES[server.policy]
+    mgr = KVCacheManager(kv, model) if kv is not None else None
+    naive = kv is not None and kv.admission == "naive"
+    victim_key = VICTIM_POLICIES[kv.victim] if kv is not None else None
 
     order = sorted(requests, key=lambda r: (r.arrival_s, r.rid))
     logs = {r.rid: RequestLog(r) for r in order}
-    result = ServeResult(logs=[logs[r.rid] for r in order], makespan_s=0.0)
+    result = ServeResult(logs=[logs[r.rid] for r in order], makespan_s=0.0,
+                         pool_blocks=mgr.capacity_blocks if mgr else 0)
 
     waiting: list[tuple] = []       # heap of (priority, Request)
-    running: list[tuple[Request, int]] = []     # (request, tokens emitted)
+    running: list[_Running] = []
+    #: rid -> emitted count at eviction (requests awaiting re-admission)
+    preempted: dict[int, int] = {}
+    evicted_at: dict[int, float] = {}
+    admit_seq = 0
     clock = order[0].arrival_s
     next_arrival = 0                # index into ``order``
+
+    def resident_of(r: Request) -> int:
+        """Resident KV tokens ``r`` holds once (re-)prefilled: the
+        prompt plus every decoded token's cache entry.  (The latest
+        emitted token's KV is written by the *next* decode step.)"""
+        return r.prompt_tokens + max(0, preempted.get(r.rid, 1) - 1)
+
+    def preempt_one() -> bool:
+        """Evict one victim to free pool blocks; False when the batch
+        is empty.  The victim re-enters the waiting queue and will
+        re-prefill its resident context on re-admission."""
+        if not running:
+            return False
+        victim = max(running, key=victim_key)
+        running.remove(victim)
+        mgr.release(victim.req.rid)
+        preempted[victim.req.rid] = victim.emitted
+        evicted_at[victim.req.rid] = clock
+        logs[victim.req.rid].n_preemptions += 1
+        result.n_preemptions += 1
+        heapq.heappush(waiting, (prio(victim.req), victim.req))
+        return True
 
     while next_arrival < len(order) or waiting or running:
         # deliver arrivals up to the current clock
@@ -142,44 +217,138 @@ def serve(requests: Sequence[Request], model: ModelConfig, method: str,
         result.queue_depth.append(len(waiting))
 
         free_slots = server.max_batch - len(running)
-        if waiting and free_slots > 0:
-            # ---- prefill step: admit under the slot + token budgets.
-            # An oversized prompt (> max_prefill_tokens) admits alone —
-            # it must run eventually and the budget is per-step.
-            chunk: list[Request] = []
+        do_prefill = bool(waiting) and free_slots > 0
+        if do_prefill and mgr is not None:
+            # head-of-queue gate: when the pool cannot take the head
+            # request, decode instead (progress frees blocks).  Naive
+            # admission pretends memory is free: a *fresh* arrival
+            # always proceeds (forcing evictions below), and only
+            # re-admissions of already-evicted requests wait for free
+            # blocks — that is what keeps the thrash from livelocking.
+            # kv-aware admission gates everything on watermark headroom.
+            head = waiting[0][1]
+            need = resident_of(head)
+            if not mgr.can_ever_fit(need):
+                raise ServeError(
+                    f"request {head.rid} needs {mgr.blocks_for(need)} KV "
+                    f"blocks but the pool holds {mgr.capacity_blocks}; "
+                    f"grow the pool or trim the workload")
+            if naive:
+                if head.rid in preempted and \
+                        mgr.blocks_for(need) > mgr.free_blocks:
+                    do_prefill = False
+            elif not mgr.can_admit(need, batch_empty=not running):
+                do_prefill = False
+
+        if do_prefill:
+            # ---- prefill step: admit under the slot + token budgets
+            # (and, with a pool, the KV gate).  An oversized prompt
+            # (> max_prefill_tokens) admits alone — it must run
+            # eventually and the budget is per-step.
+            step_start = clock
+            chunk: list[tuple[Request, int]] = []   # (request, resident)
             tokens = 0
             while waiting and len(chunk) < free_slots:
-                r = waiting[0][1]
-                if chunk and tokens + r.prompt_tokens > \
-                        server.max_prefill_tokens:
+                # pop the candidate *before* any eviction: preempt_one
+                # pushes victims into the waiting heap, which would
+                # otherwise change what a later pop removes
+                item = heapq.heappop(waiting)
+                r = item[1]
+                resident = resident_of(r)
+                if chunk and tokens + resident > server.max_prefill_tokens:
+                    heapq.heappush(waiting, item)
                     break
-                heapq.heappop(waiting)
-                chunk.append(r)
-                tokens += r.prompt_tokens
+                if mgr is not None:
+                    if not mgr.can_ever_fit(resident):
+                        raise ServeError(
+                            f"request {r.rid} needs "
+                            f"{mgr.blocks_for(resident)} KV blocks but the "
+                            f"pool holds {mgr.capacity_blocks}; grow the "
+                            f"pool or trim the workload")
+                    if naive:
+                        # naive admission pretends memory is free: a
+                        # fresh prompt evicts running victims until its
+                        # context fits, and each victim's whole context
+                        # later re-prefills (recompute).  Re-admissions
+                        # never evict — a request is fresh exactly once,
+                        # which bounds the thrash and rules out the
+                        # evict-each-other livelock.
+                        if r.rid not in preempted:
+                            while mgr.blocks_for(resident) > \
+                                    mgr.free_blocks and preempt_one():
+                                pass
+                        if mgr.blocks_for(resident) > mgr.free_blocks:
+                            heapq.heappush(waiting, item)
+                            break
+                    elif not mgr.can_admit(
+                            resident,
+                            batch_empty=not running and not chunk):
+                        heapq.heappush(waiting, item)
+                        break
+                    mgr.admit(r.rid, resident)
+                chunk.append((r, resident))
+                tokens += resident
                 if tokens >= server.max_prefill_tokens:
                     break
-            clock += step_seconds(tokens)
+            clock += step_seconds(tokens, 0)
             result.n_prefill_steps += 1
             result.batch_size.append(len(running) + len(chunk))
-            for r in chunk:
-                logs[r.rid].first_token_s = clock
-                if r.output_tokens <= 1:
-                    logs[r.rid].finish_s = clock
+            for r, resident in chunk:
+                log = logs[r.rid]
+                if r.rid in preempted:
+                    # re-admission: the resident context just recomputed;
+                    # the request resumes decoding where it left off
+                    emitted = preempted.pop(r.rid)
+                    log.recompute_tokens += resident
+                    result.recompute_tokens += resident
+                    log.preempt_stall_s += clock - evicted_at.pop(r.rid)
+                    running.append(_Running(r, emitted, resident, admit_seq))
                 else:
-                    running.append((r, 1))
+                    log.queue_wait_s = step_start - r.arrival_s
+                    log.first_token_s = clock
+                    if r.output_tokens <= 1:
+                        log.finish_s = clock
+                        if mgr is not None:
+                            mgr.release(r.rid)
+                    else:
+                        running.append(_Running(r, 1, resident, admit_seq))
+                admit_seq += 1
         else:
-            # ---- decode step: one token per running request
-            clock += step_seconds(len(running))
+            # ---- decode step: one token per running request.  With a
+            # pool, grow each request's KV first — evicting victims
+            # while the growth does not fit.
+            if mgr is not None:
+                while True:
+                    need = sum(mgr.blocks_to_grow(e.req.rid, e.resident + 1)
+                               for e in running)
+                    if need <= mgr.free_blocks:
+                        break
+                    if len(running) <= 1 or not preempt_one():
+                        raise ServeError(
+                            f"KV pool too small: one request needs "
+                            f"{need} more blocks with "
+                            f"{mgr.free_blocks}/{mgr.capacity_blocks} free")
+                for e in running:
+                    mgr.grow_to(e.req.rid, e.resident + 1)
+            ctx = sum(e.resident for e in running)
+            result.peak_resident_tokens = max(result.peak_resident_tokens,
+                                              ctx)
+            clock += step_seconds(len(running), ctx)
             result.n_decode_steps += 1
             result.batch_size.append(len(running))
             still = []
-            for r, emitted in running:
-                emitted += 1
-                if emitted >= r.output_tokens:
-                    logs[r.rid].finish_s = clock
+            for e in running:
+                e.emitted += 1
+                e.resident += 1
+                if e.emitted >= e.req.output_tokens:
+                    logs[e.req.rid].finish_s = clock
+                    if mgr is not None:
+                        mgr.release(e.req.rid)
                 else:
-                    still.append((r, emitted))
+                    still.append(e)
             running = still
+        if mgr is not None:
+            result.pool_occupancy.append(mgr.occupancy())
 
     result.makespan_s = clock - order[0].arrival_s
     return result

@@ -75,8 +75,10 @@ class Scenario:
 
 
 #: Named presets: interactive chat, retrieval-augmented generation (long
-#: bursty prompts, short answers) and offline batch summarization (very
-#: long prompts submitted in waves).
+#: bursty prompts, short answers), offline batch summarization (very
+#: long prompts submitted in waves) and long-context analysis (steady
+#: arrivals of very heavy prompts with modest outputs — the KV-pressure
+#: workload the KV-aware scheduler is benchmarked under).
 SCENARIOS: dict[str, Scenario] = {
     "chat": Scenario("chat", arrival="poisson", rate_rps=8.0,
                      prompt_mean=256, prompt_sigma=0.6, prompt_max=2048,
@@ -89,6 +91,11 @@ SCENARIOS: dict[str, Scenario] = {
                                 prompt_mean=4096, prompt_sigma=0.3,
                                 prompt_max=7680, output_mean=64,
                                 output_sigma=0.4, output_max=256),
+    "long-context": Scenario("long-context", arrival="poisson",
+                             rate_rps=2.0, prompt_mean=6144,
+                             prompt_sigma=0.5, prompt_max=16384,
+                             output_mean=192, output_sigma=0.4,
+                             output_max=512),
 }
 
 

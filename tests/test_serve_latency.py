@@ -18,6 +18,7 @@ from repro.errors import ServeError
 from repro.models.configs import ModelConfig
 from repro.serve.latency import (
     DEFAULT_BUCKETS,
+    DEFAULT_CTX_BUCKETS,
     StepLatencyTable,
     entry_key,
     model_key,
@@ -29,16 +30,18 @@ TINY_MOE = ModelConfig("tiny-moe", n_layers=4, hidden=512, heads=4,
                        head_dim=128, intermediate=2048, moe=True,
                        n_experts=4, topk=2, batch=1, seq_len=2048)
 BUCKETS = (64, 128, 256)
+CTX = (0, 1024)
 
 
 @pytest.fixture
 def fake_sim(monkeypatch):
-    """Replace layer_time with 1us/token + 0.1ms floor; count calls."""
+    """Replace layer_time with an affine (tokens, kv_len) law; count
+    calls.  Linear on both axes, so bilinear interpolation is exact."""
     calls = []
 
     def fake(model, method, world=8, seed=0, spec=None):
-        calls.append((model.tokens, method))
-        return 1e-4 + model.tokens * 1e-6
+        calls.append((model.tokens, model.kv_len, method))
+        return 1e-4 + model.tokens * 1e-6 + model.kv_len * 1e-8
 
     monkeypatch.setattr(runner_mod, "layer_time", fake)
     return calls
@@ -46,30 +49,36 @@ def fake_sim(monkeypatch):
 
 def test_ensure_simulates_once_then_memoises(tmp_path, fake_sim):
     table = StepLatencyTable(tmp_path / "lat.json")
-    table.ensure(TINY, "tilelink", buckets=BUCKETS)
-    assert len(fake_sim) == len(BUCKETS)
-    table.ensure(TINY, "tilelink", buckets=BUCKETS)   # warm: no new sims
-    assert len(fake_sim) == len(BUCKETS)
+    n = len(BUCKETS) * len(CTX)     # one sim per grid cell
+    table.ensure(TINY, "tilelink", buckets=BUCKETS, ctx_buckets=CTX)
+    assert len(fake_sim) == n
+    table.ensure(TINY, "tilelink", buckets=BUCKETS,  # warm: no new sims
+                 ctx_buckets=CTX)
+    assert len(fake_sim) == n
     # a fresh handle re-reads the flushed file, still zero simulations
     again = StepLatencyTable(tmp_path / "lat.json")
-    again.ensure(TINY, "tilelink", buckets=BUCKETS)
-    assert len(fake_sim) == len(BUCKETS)
+    again.ensure(TINY, "tilelink", buckets=BUCKETS, ctx_buckets=CTX)
+    assert len(fake_sim) == n
 
 
 def test_changed_bucket_ladder_resimulates_whole_entry(tmp_path, fake_sim):
     table = StepLatencyTable(tmp_path / "lat.json")
-    table.ensure(TINY, "tilelink", buckets=BUCKETS)
-    table.ensure(TINY, "tilelink", buckets=(64, 128))
-    assert len(fake_sim) == len(BUCKETS) + 2
+    table.ensure(TINY, "tilelink", buckets=BUCKETS, ctx_buckets=CTX)
+    table.ensure(TINY, "tilelink", buckets=(64, 128), ctx_buckets=CTX)
+    assert len(fake_sim) == (len(BUCKETS) + 2) * len(CTX)
+    # a differing *context* ladder also resimulates the whole entry
+    table.ensure(TINY, "tilelink", buckets=(64, 128),
+                 ctx_buckets=(0, 1024, 4096))
+    assert len(fake_sim) == (len(BUCKETS) + 2) * len(CTX) + 2 * 3
 
 
 def test_interpolation_is_exact_at_buckets_and_linear_between(
         tmp_path, fake_sim):
     table = StepLatencyTable(tmp_path / "lat.json")
-    table.ensure(TINY, "tilelink", buckets=BUCKETS)
+    table.ensure(TINY, "tilelink", buckets=BUCKETS, ctx_buckets=CTX)
     f = table.interpolator(TINY, "tilelink")
     n = TINY.n_layers
-    per_layer = lambda t: 1e-4 + t * 1e-6          # the fake's law
+    per_layer = lambda t, c=0: 1e-4 + t * 1e-6 + c * 1e-8  # the fake's law
     # exact at bucket points
     for b in BUCKETS:
         assert f(b) == pytest.approx(per_layer(b) * n)
@@ -79,6 +88,28 @@ def test_interpolation_is_exact_at_buckets_and_linear_between(
     assert f(1) == pytest.approx(per_layer(64) * n)
     # linear extrapolation above the largest
     assert f(512) == pytest.approx(per_layer(512) * n)
+
+
+def test_context_axis_interpolates_and_extrapolates(tmp_path, fake_sim):
+    table = StepLatencyTable(tmp_path / "lat.json")
+    table.ensure(TINY, "tilelink", buckets=BUCKETS,
+                 ctx_buckets=(0, 1024, 4096))
+    f = table.interpolator(TINY, "tilelink")
+    n = TINY.n_layers
+    per_layer = lambda t, c: 1e-4 + t * 1e-6 + c * 1e-8
+    # exact at the grid points
+    for c in (0, 1024, 4096):
+        assert f(128, c) == pytest.approx(per_layer(128, c) * n)
+    # bilinear between rungs (the fake is linear on both axes -> exact),
+    # including off-bucket token counts
+    assert f(128, 512) == pytest.approx(per_layer(128, 512) * n)
+    assert f(96, 2048) == pytest.approx(per_layer(96, 2048) * n)
+    # linear extrapolation above the largest context rung
+    assert f(128, 8192) == pytest.approx(per_layer(128, 8192) * n)
+    # ctx=0 is the default: the one-axis form is unchanged
+    assert f(128) == f(128, 0)
+    # monotone in context under a monotone law
+    assert f(128, 0) < f(128, 1024) < f(128, 4096) < f(128, 8192)
 
 
 def test_step_time_scales_with_layer_count(tmp_path, fake_sim):
@@ -114,6 +145,17 @@ def test_invalid_bucket_ladder_raises(tmp_path):
     # extrapolate from — rejected at build time, not IndexError at query
     with pytest.raises(ServeError, match="invalid bucket ladder"):
         table.ensure(TINY, "tilelink", buckets=(64,))
+
+
+def test_invalid_context_ladder_raises(tmp_path):
+    table = StepLatencyTable(tmp_path / "lat.json")
+    # the 0 rung (prefill form) is mandatory
+    with pytest.raises(ServeError, match="context-bucket ladder"):
+        table.ensure(TINY, "tilelink", buckets=BUCKETS,
+                     ctx_buckets=(1024, 4096))
+    # a single rung leaves the ctx axis no segment to extrapolate from
+    with pytest.raises(ServeError, match="context-bucket ladder"):
+        table.ensure(TINY, "tilelink", buckets=BUCKETS, ctx_buckets=(0,))
 
 
 def test_corrupt_file_reads_as_empty(tmp_path):
@@ -155,17 +197,26 @@ def test_tuned_entry_key_folds_the_warm_cache_content(tmp_path,
 def test_default_buckets_are_power_of_two_and_bounded():
     assert list(DEFAULT_BUCKETS) == sorted(set(DEFAULT_BUCKETS))
     assert all(b & (b - 1) == 0 for b in DEFAULT_BUCKETS)
-    # the acceptance budget: a cold build simulates well under ~30
+    assert list(DEFAULT_CTX_BUCKETS) == sorted(set(DEFAULT_CTX_BUCKETS))
+    assert DEFAULT_CTX_BUCKETS[0] == 0      # prefill form is mandatory
+    # the acceptance budget: a cold build simulates well under ~50
     # build_layer points per (model, method)
-    assert len(DEFAULT_BUCKETS) <= 30
+    assert len(DEFAULT_BUCKETS) * len(DEFAULT_CTX_BUCKETS) <= 50
 
 
 def test_real_simulator_integration(tmp_path):
     """One real entry at a tiny shape: monotone non-decreasing ladder,
-    and interpolation brackets the simulated bucket values."""
+    interpolation brackets the simulated bucket values, and resident
+    context makes a decode step strictly more expensive."""
     table = StepLatencyTable(tmp_path / "lat.json")
-    entry = table.ensure(TINY, "tilelink", buckets=(64, 128), seed=0)
-    t64, t128 = entry["layer_s"]
+    entry = table.ensure(TINY, "tilelink", buckets=(64, 128), seed=0,
+                         ctx_buckets=(0, 4096))
+    (t64, t128), (c64, c128) = entry["layer_s"]
     assert 0 < t64 <= t128
     assert table.step_time(TINY, "tilelink", 96) == \
         pytest.approx((t64 + t128) / 2 * TINY.n_layers)
+    # a 4096-token resident cache must cost more than prefill-form
+    # attention over the step's own tokens alone
+    assert c64 > t64 and c128 > t128
+    assert table.step_time(TINY, "tilelink", 64, ctx=4096) > \
+        table.step_time(TINY, "tilelink", 64)

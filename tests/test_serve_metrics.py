@@ -109,6 +109,13 @@ def test_schema_rejects_drifted_rows():
         [dict(good, throughput_rps=0.0)]))
     assert any("unknown fields" in e for e in validate_serving_rows(
         [dict(good, surprise=1)]))
+    # pool stats share TPOT's null-together discipline
+    assert any("null together" in e for e in validate_serving_rows(
+        [dict(good, pool_occupancy_p50=0.5, pool_occupancy_max=None)]))
+    assert any("in [0, 1]" in e for e in validate_serving_rows(
+        [dict(good, pool_occupancy_p50=1.2, pool_occupancy_max=1.2)]))
+    assert any(">= 0" in e for e in validate_serving_rows(
+        [dict(good, n_preemptions=-1)]))
 
 
 def test_format_reports_renders_every_cell():

@@ -81,6 +81,9 @@ def main() -> None:
           "composed into a continuous-batching server under heavy "
           "traffic (throughput / TTFT / SLO curves, and a paged KV "
           "pool under memory pressure).")
+    print("Every shipped kernel is statically verified for deadlocks and "
+          "races:\n  python -m repro.analyze --all --strict   "
+          "(walkthrough: examples/analyze_kernel.py)")
 
 
 if __name__ == "__main__":

@@ -24,7 +24,6 @@ import math
 from repro.collectives.copy_engine import dma_all_gather
 from repro.kernels.gemm_rs import GemmRsConfig, gemm_rs_overlapped
 from repro.kernels.mlp import MlpConfig
-from repro.mapping.static import AffineTileMapping
 from repro.ops.activation import silu_op
 from repro.runtime.context import DistContext
 from repro.sim.engine import Process, ProcessGen, Timeout

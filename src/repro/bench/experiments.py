@@ -9,7 +9,7 @@ from __future__ import annotations
 from typing import Callable, Sequence
 
 from repro.baselines import decompose, flux, nonoverlap, vllm_moe
-from repro.bench.harness import DEFAULT_WORLD, run_builder, run_builder_traced
+from repro.bench.harness import DEFAULT_WORLD, run_builder
 from repro.config import H800, HardwareSpec
 from repro.kernels.ag_gemm import (
     AgGemmConfig,
@@ -36,7 +36,7 @@ from repro.kernels.moe_common import build_moe_routing, random_router_logits
 from repro.kernels.moe_layer import MoeConfig, moe_layer_tilelink
 from repro.kernels.moe_rs import MoeRsConfig, moe_rs_overlapped, moe_rs_tune_task
 from repro.kernels.ring_attention import ring_attention, ring_attention_tune_task
-from repro.models.configs import AttnShape, MlpShape, MoeShape, ModelConfig
+from repro.models.configs import AttnShape, MlpShape, MoeShape
 from repro.ops.attention import flash_attention_op
 from repro.runtime.context import DistContext
 from repro.tuner.cache import TuneCache

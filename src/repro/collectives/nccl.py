@@ -18,8 +18,7 @@ import itertools
 
 import numpy as np
 
-from repro.errors import RuntimeLaunchError, ShapeError
-from repro.memory.tensor import SimTensor
+from repro.errors import ShapeError
 from repro.runtime.context import DistContext
 from repro.sim.engine import Process, ProcessGen, Timeout
 

@@ -129,7 +129,15 @@ def enforce_consistency(ir: KernelIR) -> None:
                 visit(s.then)
                 visit(s.orelse)
 
-    def _pin_guarded(body: list[Stmt], guards: list[Primitive]) -> None:
+    def _pin_guarded(body: list[Stmt],
+                     guards: list[Primitive]) -> list[Primitive]:
+        """Pin loads after waits; return the waits discovered in ``body``.
+
+        Waits found inside an ``If`` branch or a nested ``For`` body
+        conservatively guard everything after the join point too: the
+        branch may be taken (the loop may iterate), so hoisting a later
+        load above that wait is unsafe.
+        """
         local_guards = list(guards)
         for s in body:
             if isinstance(s, Primitive) and s.is_wait:
@@ -139,15 +147,19 @@ def enforce_consistency(ir: KernelIR) -> None:
                     s.prefetchable = False
                     s.guards = list(local_guards)
             elif isinstance(s, If):
-                _pin_guarded(s.then, local_guards)
-                _pin_guarded(s.orelse, local_guards)
+                branch_waits = _pin_guarded(s.then, local_guards)
+                branch_waits += _pin_guarded(s.orelse, local_guards)
+                for g in branch_waits:
+                    if g not in local_guards:
+                        local_guards.append(g)
             elif isinstance(s, For):
-                # a wait before a nested loop guards its loads too
-                if local_guards:
-                    for t in walk_block(s.body):
-                        if isinstance(t, TileOp) and t.op in LOAD_OPS:
-                            t.prefetchable = False
-                            t.guards = list(local_guards)
+                # a wait before a nested loop guards its loads too, and a
+                # wait inside the loop guards statements after the loop
+                inner_waits = _pin_guarded(s.body, local_guards)
+                for g in inner_waits:
+                    if g not in local_guards:
+                        local_guards.append(g)
+        return [g for g in local_guards if g not in guards]
 
     visit(ir.body)
 
@@ -157,7 +169,7 @@ def verify_consistency(ir: KernelIR) -> None:
 
     Used by tests and by ``CompileOptions(validate=True)`` builds.
     """
-    def check(body: list[Stmt], seen_wait: bool) -> None:
+    def check(body: list[Stmt], seen_wait: bool) -> bool:
         local = seen_wait
         for s in body:
             if isinstance(s, Primitive) and s.is_wait:
@@ -170,10 +182,13 @@ def verify_consistency(ir: KernelIR) -> None:
                         "enforce_consistency before pipelining executes"
                     )
             elif isinstance(s, If):
-                check(s.then, local)
-                check(s.orelse, local)
+                # waits in either branch guard the join conservatively
+                in_then = check(s.then, local)
+                in_else = check(s.orelse, local)
+                local = local or in_then or in_else
             elif isinstance(s, For):
-                check(s.body, local)
+                local = check(s.body, local) or local
+        return local
 
     for s in ir.body:
         if isinstance(s, For):

@@ -7,7 +7,7 @@ Specializations are cached per (constexpr binding, options) on the
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import CompileError
@@ -36,7 +36,10 @@ class CompileOptions:
         numerics in numeric mode.
     validate:
         Run the consistency checker after passes (raises
-        :class:`repro.errors.ConsistencyError` on a bad schedule).
+        :class:`repro.errors.ConsistencyError` on a bad schedule) and the
+        structural half of the static synchronization analyzer (raises
+        :class:`repro.errors.AnalysisError` on primitive misuse or a
+        divergent ``barrier_all``).
     """
 
     num_stages: int = 3
@@ -81,6 +84,12 @@ def compile_kernel(kdef: KernelDef, constexprs: dict[str, Any],
         enforce_consistency(ir)
         if options.validate:
             verify_consistency(ir)
+    if options.validate:
+        # lazy import: the analyzer sits above the compiler in the layer
+        # stack (it also drives whole launch plans)
+        from repro.analyze.registry import check_compiled_ir
+
+        check_compiled_ir(ir)
     program = CompiledProgram(
         name=kdef.name,
         ir=ir,

@@ -52,6 +52,20 @@ class ConsistencyError(TileLinkError):
     """
 
 
+class AnalysisError(TileLinkError):
+    """The static synchronization analyzer rejected a kernel or plan.
+
+    Raised at compile time (``CompileOptions(validate=True)``) when a
+    structural rule fires at error severity, e.g. ``barrier_all`` under a
+    rank-divergent ``If``.  ``findings`` carries the machine-readable
+    :class:`repro.analyze.Finding` records behind the message.
+    """
+
+    def __init__(self, message: str, findings: list | None = None):
+        super().__init__(message)
+        self.findings = findings or []
+
+
 class MappingError(TileLinkError):
     """A tile-centric mapping was queried outside its valid domain."""
 

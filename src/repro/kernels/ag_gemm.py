@@ -123,6 +123,16 @@ def _ag_push_producer(shards, gathered, channel: tl.BlockChannel,
                 tl.producer_tile_notify(t, "p2p", to=peer)
 
 
+# analyzer annotations (repro.analyze): role in the producer/consumer
+# chain, the communicated axis, and which params must be fully covered
+_ag_consumer_gemm.meta.update(role="consumer", comm_axis="m",
+                              outputs=("out",))
+_ag_pull_producer.meta.update(role="producer", comm_axis="m",
+                              outputs=("gathered",))
+_ag_push_producer.meta.update(role="producer", comm_axis="m",
+                              outputs=("gathered",))
+
+
 @dataclass(frozen=True)
 class AgGemmConfig:
     """Shapes and tiling for an AG+GEMM launch.

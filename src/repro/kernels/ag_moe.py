@@ -21,8 +21,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-import numpy as np
-
 from repro.collectives.copy_engine import dma_all_gather
 from repro.compiler.program import CompileOptions
 from repro.config import H800, HardwareSpec
@@ -68,6 +66,12 @@ def _ag_moe_group_gemm(gathered, weights2d, ids, expert_of_tile, grouped_out,
         c = tl.cast(acc, "float16")
         tl.store(grouped_out, (t * BM, t * BM + BM),
                  (tid_n * BN, tid_n * BN + BN), c)
+
+
+# analyzer annotations (repro.analyze); grouped_out rows are the padded
+# expert-grouped layout, fully covered by the NT consumer tiles
+_ag_moe_group_gemm.meta.update(role="consumer", comm_axis="m",
+                               outputs=("grouped_out",))
 
 
 @dataclass(frozen=True)

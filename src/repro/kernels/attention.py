@@ -35,6 +35,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.tuner.cache import TuneCache
     from repro.tuner.search import TuneResult
 
+#: analyzer annotation (repro.analyze): this family has no tile IR — the
+#: flash consumer is a native simulated kernel, so the static analyzer
+#: records an informational plan instead of an event-trace analysis
+ANALYZE_META = dict(family="ag_attention", tile_ir=False,
+                    detail="KV AllGather on the copy engine + native "
+                           "flash-attention consumer")
+
 
 @dataclass(frozen=True)
 class AgAttentionConfig:

@@ -175,6 +175,14 @@ def _rs_reduce(landing, gemm_out, out, channel: tl.BlockChannel,
                  (tid_n * BNR, tid_n * BNR + BNR), acc)
 
 
+# analyzer annotations (repro.analyze)
+_gemm_rs_ring.meta.update(role="fused", comm_axis="m",
+                          outputs=("gemm_out", "out"))
+_gemm_producer.meta.update(role="producer", comm_axis="m",
+                           outputs=("gemm_out",))
+_rs_reduce.meta.update(role="consumer", comm_axis="m", outputs=("out",))
+
+
 @dataclass(frozen=True)
 class GemmRsConfig:
     """Shapes/tiling for GEMM+RS.  ``m`` global rows, ``n`` full output

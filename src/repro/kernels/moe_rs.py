@@ -28,8 +28,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-import numpy as np
-
 from repro.compiler.program import CompileOptions
 from repro.config import H800, HardwareSpec
 from repro.errors import RuntimeLaunchError, ShapeError
@@ -99,6 +97,12 @@ def _moe_rs_reduce(landing, out, channel: tl.BlockChannel,
             acc += part
         tl.store(out, (tid_m * BMR, tid_m * BMR + BMR),
                  (tid_n * BNR, tid_n * BNR + BNR), acc)
+
+
+# analyzer annotations (repro.analyze); the producer's scatter-add target
+# is data-dependent (routing tables), so it declares no coverable output
+_moe_rs_producer.meta.update(role="producer", comm_axis="m", outputs=())
+_moe_rs_reduce.meta.update(role="consumer", comm_axis="m", outputs=("out",))
 
 
 @dataclass(frozen=True)

@@ -17,7 +17,6 @@ Numerics use the same online-softmax accumulation as the TileLink kernel.
 from __future__ import annotations
 
 from repro.config import H800, HardwareSpec
-from repro.errors import ShapeError
 from repro.kernels.attention import (
     AgAttentionConfig,
     _OnlineSoftmax,
@@ -25,12 +24,16 @@ from repro.kernels.attention import (
 )
 from repro.ops.attention import flash_segment_time, heads_to_seq, seq_to_heads
 from repro.runtime.context import DistContext
-from repro.sim.engine import Join, Process, ProcessGen, Timeout
+from repro.sim.engine import Process, ProcessGen, Timeout
 from repro.tuner.costprune import ring_attention_lower_bound
 from repro.tuner.space import SearchSpace, register_space
 
 #: per-step host cost of the torch.distributed SendRecv pair
 HOP_DISPATCH_OVERHEAD = 30e-6
+
+#: analyzer annotation (repro.analyze): native simulated kernel, no tile IR
+ANALYZE_META = dict(family="ring_attention", tile_ir=False,
+                    detail="rotating-KV lockstep ring on host processes")
 
 # The ring baseline shares the flash-tile axes with the AG kernel — the
 # searched subspace is the same q/kv tiling; only the builder (and its

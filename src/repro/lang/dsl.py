@@ -36,6 +36,9 @@ class KernelDef:
         self._ir: KernelIR | None = None
         #: compiled-program cache, keyed by frozen constexpr items
         self._programs: dict[tuple, Any] = {}
+        #: analyzer annotations (role, comm axis, output params) — kernel
+        #: modules populate this after definition; repro.analyze reads it
+        self.meta: dict[str, Any] = {}
 
     @property
     def ir(self) -> KernelIR:

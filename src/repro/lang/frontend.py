@@ -44,6 +44,7 @@ from repro.lang.ir import (
     TensorRef,
     TileOp,
     UnaryOp,
+    inherit_linenos,
 )
 
 _BINOPS: dict[type, str] = {
@@ -128,6 +129,9 @@ class _Translator:
                     raise self.err("only one BlockChannel parameter allowed", a)
                 self.channel_param = a.arg
         body = self.block(self.fdef.body)
+        # backstop: synthesized nodes inherit the nearest preceding line so
+        # verifier/analyzer findings never point at "line 0"
+        inherit_linenos(body, default=self.fdef.lineno)
         return KernelIR(
             name=self.fdef.name,
             params=self.params,
@@ -190,7 +194,8 @@ class _Translator:
                 if not isinstance(t, ast.Name):
                     raise self.err("tuple targets must be names", node)
                 self.mark_scalar(t.id, node)
-                out.append(AssignScalar(t.id, self.scalar(v)))
+                out.append(AssignScalar(t.id, self.scalar(v),
+                                        lineno=node.lineno))
             return out
         if not isinstance(target, ast.Name):
             raise self.err("assignment target must be a simple name", node)
@@ -208,7 +213,8 @@ class _Translator:
             self.mark_tile(name, node)
             return stmts
         self.mark_scalar(name, node)
-        return [AssignScalar(name, self.scalar(node.value))]
+        return [AssignScalar(name, self.scalar(node.value),
+                             lineno=node.lineno)]
 
     def _aug_assign(self, node: ast.AugAssign) -> list[Stmt]:
         if not isinstance(node.target, ast.Name):
@@ -230,7 +236,8 @@ class _Translator:
             raise self.err("unsupported scalar augmented op", node)
         self.mark_scalar(name, node)
         return [AssignScalar(name, BinOp(_BINOPS[opcls], Name(name),
-                                         self.scalar(node.value)))]
+                                         self.scalar(node.value)),
+                             lineno=node.lineno)]
 
     def _expr_stmt(self, node: ast.Expr) -> list[Stmt]:
         call = node.value
@@ -419,10 +426,10 @@ class _Translator:
             opcls = type(node.op)
             if opcls not in _TILE_BINOPS:
                 raise self.err("unsupported tile operator", node)
-            l_stmts, l = self._operand_any_side(node.left)
+            l_stmts, lhs = self._operand_any_side(node.left)
             r_stmts, r = self._operand_any_side(node.right)
             self.mark_tile(target, node)
-            op = TileOp(_TILE_BINOPS[opcls], target=target, args=(l, r),
+            op = TileOp(_TILE_BINOPS[opcls], target=target, args=(lhs, r),
                         lineno=node.lineno)
             return l_stmts + r_stmts + [op], target
         if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):

@@ -121,6 +121,7 @@ class Stmt:
 class AssignScalar(Stmt):
     target: str
     value: Expr
+    lineno: int | None = None
 
 
 @dataclass
@@ -238,6 +239,58 @@ def walk_block(body: list[Stmt]) -> Iterator[Stmt]:
 def contains_sync(body: list[Stmt]) -> bool:
     """True if any statement in the block is a primitive (sync/comm)."""
     return any(isinstance(s, Primitive) for s in walk_block(body))
+
+
+def walk_with_parents(
+    body: list[Stmt], parents: tuple[Stmt, ...] = (),
+) -> Iterator[tuple[Stmt, tuple[Stmt, ...]]]:
+    """All statements depth first, each with its chain of enclosing nodes.
+
+    The analyzer uses this for structural rules that depend on context
+    (e.g. a ``barrier_all`` nested under a rank-divergent ``If``).
+    """
+    for s in body:
+        yield s, parents
+        for block in s.children():
+            yield from walk_with_parents(block, parents + (s,))
+
+
+def stmt_lineno(s: Stmt) -> int | None:
+    """Source line of a statement, if the frontend recorded one."""
+    return getattr(s, "lineno", None)
+
+
+def expr_refs(e: Expr) -> set[str]:
+    """Names referenced by a scalar expression.
+
+    Plain locals/params appear by name; channel metadata fields appear as
+    ``"channel.<field>"`` — so rank-divergence is a membership test for
+    ``"channel.rank"``.
+    """
+    refs: set[str] = set()
+    for node in e.walk():
+        if isinstance(node, Name):
+            refs.add(node.id)
+        elif isinstance(node, ChannelField):
+            refs.add(f"channel.{node.field_name}")
+    return refs
+
+
+def inherit_linenos(body: list[Stmt], default: int | None = None) -> None:
+    """Fill missing ``lineno`` fields from the nearest preceding statement.
+
+    Synthesized nodes (tuple-unpacking assignments, desugared augmented
+    assignments) otherwise report ``None`` and analyzer findings lose their
+    source anchor.
+    """
+    last = default
+    for s in body:
+        if getattr(s, "lineno", None) is None and hasattr(s, "lineno"):
+            s.lineno = last
+        else:
+            last = getattr(s, "lineno", last)
+        for block in s.children():
+            inherit_linenos(block, last)
 
 
 # ---------------------------------------------------------------------------

@@ -20,7 +20,6 @@ import numpy as np
 
 from repro.errors import MappingError
 from repro.mapping.layout import ceil_div
-from repro.mapping.static import AffineTileMapping
 
 
 class TableTileMapping:

@@ -19,7 +19,7 @@ and how many producer notifies make each channel "ready" (the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import MappingError
 from repro.mapping.layout import ceil_div

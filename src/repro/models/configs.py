@@ -7,7 +7,7 @@ eight LLMs the paper evaluates (batch 4, sequence 8192 — §7.3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 
 # --------------------------------------------------------------------------

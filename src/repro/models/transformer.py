@@ -38,7 +38,6 @@ from repro.kernels.moe_common import MoeRouting, build_moe_routing, \
 from repro.kernels.moe_layer import MoeConfig, moe_layer_tilelink
 from repro.kernels.mlp import MlpConfig, mlp_layer_tilelink
 from repro.models.configs import ModelConfig
-from repro.ops.activation import silu_op
 from repro.ops.attention import flash_attention_op
 from repro.runtime.context import DistContext
 from repro.tuner.cache import TuneCache

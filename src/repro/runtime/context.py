@@ -18,12 +18,9 @@ by the MLP/MoE kernels).
 
 from __future__ import annotations
 
-from typing import Any
-
 import numpy as np
 
 from repro.config import SimConfig
-from repro.errors import RuntimeLaunchError
 from repro.lang.block_channel import BlockChannel
 from repro.mapping.dynamic import TableTileMapping
 from repro.mapping.layout import TileGrid

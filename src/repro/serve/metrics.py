@@ -122,17 +122,17 @@ def summarize(result: ServeResult, scenario: str, method: str,
     """Collapse a :class:`ServeResult` into a :class:`ServingReport`."""
     slo = slo or SloSpec()
     logs = result.logs
-    unfinished = [l.request.rid for l in logs if l.finish_s is None]
+    unfinished = [log.request.rid for log in logs if log.finish_s is None]
     if unfinished:
         raise ServeError(f"serve() left {len(unfinished)} requests "
                          f"unfinished (first: {unfinished[:3]})")
-    ttfts = [l.ttft_s for l in logs]
-    tpots = [l.tpot_s for l in logs if l.tpot_s is not None]
-    waits = [l.queue_wait_s for l in logs]
-    stalls = [l.preempt_stall_s for l in logs]
+    ttfts = [log.ttft_s for log in logs]
+    tpots = [log.tpot_s for log in logs if log.tpot_s is not None]
+    waits = [log.queue_wait_s for log in logs]
+    stalls = [log.preempt_stall_s for log in logs]
     makespan = result.makespan_s
-    total_out = sum(l.request.output_tokens for l in logs)
-    met = sum(slo.met_by(l.ttft_s, l.tpot_s) for l in logs)
+    total_out = sum(log.request.output_tokens for log in logs)
+    met = sum(slo.met_by(log.ttft_s, log.tpot_s) for log in logs)
     occ = result.pool_occupancy if result.pool_blocks > 0 else None
     return ServingReport(
         scenario=scenario, method=method, policy=policy,

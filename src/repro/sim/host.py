@@ -9,8 +9,6 @@ the decomposition-baseline cost the paper measures (§2.4, Table 2).
 
 from __future__ import annotations
 
-from typing import Any
-
 from repro.sim.costmodel import CostModel
 from repro.sim.engine import Join, Process, ProcessGen, Simulator, Timeout
 from repro.sim.stream import Stream

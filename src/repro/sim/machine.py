@@ -14,7 +14,7 @@ from repro.config import SimConfig
 from repro.errors import SimulationError
 from repro.sim.costmodel import CostModel
 from repro.sim.device import Device
-from repro.sim.engine import AllOf, Process, ProcessGen, Simulator
+from repro.sim.engine import Process, ProcessGen, Simulator
 from repro.sim.host import Host
 from repro.sim.interconnect import Interconnect
 from repro.sim.stream import Stream

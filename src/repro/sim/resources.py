@@ -18,7 +18,6 @@ Two resource kinds cover everything the substrate needs:
 from __future__ import annotations
 
 from collections import deque
-from typing import Any
 
 from repro.errors import SimulationError
 from repro.sim.engine import Awaitable, Process, Simulator, Timeout

@@ -13,8 +13,6 @@ the new tail.
 
 from __future__ import annotations
 
-from typing import Any
-
 from repro.sim.engine import Join, Process, ProcessGen, Simulator, Timeout
 
 

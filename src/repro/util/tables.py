@@ -59,7 +59,7 @@ def render_bar_chart(
     peak = max((max(vals) for vals in series.values() if len(vals)), default=1.0)
     peak = max(peak, 1e-12)
     name_w = max((len(n) for n in series), default=0)
-    label_w = max((len(str(l)) for l in labels), default=0)
+    label_w = max((len(str(lab)) for lab in labels), default=0)
     out = []
     if title:
         out.append(title)

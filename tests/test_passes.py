@@ -118,6 +118,42 @@ def test_specialization_cache():
     assert p1 is not p3
 
 
+@kernel
+def _wait_in_branch(a, c, channel: tl.BlockChannel, N: tl.constexpr,
+                    BM: tl.constexpr):
+    for t in range(N):
+        if t > 0:
+            tl.consumer_tile_wait(t)
+        x = tl.load(a, (t * BM, t * BM + BM), (0, BM))  # after the join
+        tl.store(c, (t * BM, t * BM + BM), (0, BM), x)
+
+
+@kernel
+def _wait_in_inner_loop(a, c, channel: tl.BlockChannel, N: tl.constexpr,
+                        BM: tl.constexpr):
+    for t in range(N):
+        for u in range(2):
+            tl.consumer_tile_wait(t + u)
+        x = tl.load(a, (t * BM, t * BM + BM), (0, BM))
+        tl.store(c, (t * BM, t * BM + BM), (0, BM), x)
+
+
+def test_branch_wait_guards_loads_after_the_join():
+    # regression: a wait inside an If branch must still pin loads that
+    # follow the If — the branch's guard reaches the join conservatively
+    prog = compile_kernel(_wait_in_branch, {"N": 4, "BM": 16})
+    load = _loads(prog.ir)[0]
+    assert not load.prefetchable
+    assert load.guards and load.guards[0].name == "consumer_tile_wait"
+
+
+def test_inner_loop_wait_guards_loads_after_the_loop():
+    prog = compile_kernel(_wait_in_inner_loop, {"N": 4, "BM": 16})
+    outer_load = [l for l in _loads(prog.ir)][0]
+    assert not outer_load.prefetchable
+    assert outer_load.guards
+
+
 def test_remote_load_blocks_aggregation():
     @kernel
     def remote(shards, c, channel: tl.BlockChannel, W: tl.constexpr,

@@ -27,13 +27,8 @@ import tempfile
 import time
 from pathlib import Path
 
-from repro.bench.experiments import (
-    attention_sweep_tasks,
-    mlp_sweep_tasks,
-    moe_sweep_tasks,
-)
+from repro.bench.experiments import registry_sweep_tasks
 from repro.config import H800
-from repro.models.configs import ATTENTION_BENCHES, MLP_BENCHES, MOE_BENCHES
 from repro.tuner import TuneCache, sweep, task_cache_key
 
 WORLD = 8
@@ -41,11 +36,11 @@ DEFAULT_PATH = Path(__file__).resolve().parent / "warm_cache.json"
 
 
 def expected_tasks():
-    """The task table the warm cache must cover (and nothing else):
-    Figure-8 MLP, Table-4 MoE and Figure-10 attention shapes."""
-    return (mlp_sweep_tasks(MLP_BENCHES, world=WORLD)
-            + moe_sweep_tasks(MOE_BENCHES, world=WORLD)
-            + attention_sweep_tasks(ATTENTION_BENCHES, world=WORLD))
+    """The task table the warm cache must cover (and nothing else),
+    derived from the kernel-family registry: every family with a
+    ``warm_tasks`` hook contributes its shape table (Figure-8 MLP,
+    Table-4 MoE and Figure-10 attention shapes)."""
+    return registry_sweep_tasks(world=WORLD, spec=H800)
 
 
 def expected_keys() -> dict[str, str]:

@@ -1,4 +1,4 @@
-"""Plan builders + structural IR checks for the six registered kernels.
+"""Plan builders + structural IR checks for the registered kernels.
 
 Each ``build_*_plan`` function mirrors its family's ``*_overlapped``
 launcher — same channel construction, constexpr binding, launch streams
@@ -6,9 +6,11 @@ and host comm threads — but at a small concrete instantiation (world in
 {2, 4, 8}, a few tile-grid shapes) and against abstract signal banks, so
 the whole producer/consumer chain can be checked without simulating it.
 
-:data:`FAMILIES` maps every registered kernel family to its shipped plan
-instantiations; :func:`analyze_registered` sweeps them and is what both
-the ``python -m repro.analyze`` CLI and the mutant tests drive.
+:data:`FAMILIES` is a lazy view over :mod:`repro.registry`: every kernel
+family declares its shipped plan instantiations in its
+``register_family(analyze_plans=...)`` hook, and
+:func:`analyze_registered` sweeps them — it is what both the
+``python -m repro.analyze`` CLI and the mutant tests drive.
 
 :func:`structural_check_ir` is the compile-time half: purely syntactic
 rules over one :class:`~repro.lang.ir.KernelIR` (primitive arity, notify
@@ -19,6 +21,7 @@ on every ``compile_kernel(..., validate=True)`` via
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from typing import Any, Callable, Iterator
 
 from repro.analyze.checks import analyze_plan
@@ -439,37 +442,37 @@ def build_ring_attention_plan(**_: Any) -> tuple[LaunchPlan, list]:
     return _native_plan("ring_attention", ANALYZE_META["detail"])
 
 
-#: family -> shipped plan instantiations (zero-arg thunks)
-FAMILIES: dict[str, list[Callable[[], tuple[LaunchPlan, list[Finding]]]]] = {
-    "ag_gemm": [
-        lambda: build_ag_gemm_plan(world=2, mode="dma"),
-        lambda: build_ag_gemm_plan(world=4, mode="dma"),
-        lambda: build_ag_gemm_plan(world=8, mode="dma"),
-        # decoupled tile sizes: compute tile 2x the communication tile
-        lambda: build_ag_gemm_plan(world=4, mode="dma", block_m=32,
-                                   name="ag_gemm/dma/w4/bm32"),
-        lambda: build_ag_gemm_plan(world=2, mode="pull"),
-        lambda: build_ag_gemm_plan(world=4, mode="pull"),
-        lambda: build_ag_gemm_plan(world=2, mode="push"),
-        lambda: build_ag_gemm_plan(world=8, mode="push"),
-    ],
-    "gemm_rs": [
-        lambda: build_gemm_rs_plan(world=2, mode="ring"),
-        lambda: build_gemm_rs_plan(world=4, mode="ring"),
-        lambda: build_gemm_rs_plan(world=2, mode="hybrid"),
-        lambda: build_gemm_rs_plan(world=4, mode="hybrid"),
-    ],
-    "ag_moe": [
-        lambda: build_ag_moe_plan(world=2),
-        lambda: build_ag_moe_plan(world=4),
-    ],
-    "moe_rs": [
-        lambda: build_moe_rs_plan(world=2),
-        lambda: build_moe_rs_plan(world=4),
-    ],
-    "ag_attention": [build_ag_attention_plan],
-    "ring_attention": [build_ring_attention_plan],
-}
+class _RegisteredFamilies(Mapping):
+    """Lazy family -> plan-thunks view over :mod:`repro.registry`.
+
+    Each kernel module declares its shipped plan instantiations in its
+    ``register_family(analyze_plans=...)`` hook; this proxy resolves them
+    on first access so importing :mod:`repro.analyze` stays cheap and
+    cycle-free.
+    """
+
+    def _resolve(self) -> dict[
+            str, list[Callable[[], tuple[LaunchPlan, list[Finding]]]]]:
+        from repro.registry import families
+
+        return {name: fam.analyze_plans()
+                for name, fam in families().items()}
+
+    def __getitem__(self, name: str):
+        return self._resolve()[name]
+
+    def __iter__(self):
+        return iter(self._resolve())
+
+    def __len__(self) -> int:
+        return len(self._resolve())
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._resolve()
+
+
+#: family -> shipped plan instantiations (zero-arg thunks), registry-driven
+FAMILIES: Mapping = _RegisteredFamilies()
 
 
 def analyze_registered(
@@ -494,11 +497,11 @@ def analyze_registered(
 
 def _shipped_ir(kernel_name: str) -> KernelIR | None:
     """Resolve a thread's kernel name back to a registered KernelDef IR."""
-    from repro.kernels import ag_gemm, ag_moe, gemm_rs, moe_rs
+    from repro.registry import families
 
-    for module in (ag_gemm, gemm_rs, ag_moe, moe_rs):
-        kdef = getattr(module, kernel_name, None)
-        ir = getattr(kdef, "ir", None)
-        if ir is not None and ir.name == kernel_name:
-            return ir
+    for fam in families().values():
+        for kdef in fam.kernels:
+            ir = getattr(kdef, "ir", None)
+            if ir is not None and ir.name == kernel_name:
+                return ir
     return None

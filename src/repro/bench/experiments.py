@@ -11,6 +11,7 @@ from typing import Callable, Sequence
 from repro.baselines import decompose, flux, nonoverlap, vllm_moe
 from repro.bench.harness import DEFAULT_WORLD, run_builder
 from repro.config import H800, HardwareSpec
+from repro.errors import RegistryError
 from repro.kernels.ag_gemm import (
     AgGemmConfig,
     ag_gemm_overlapped,
@@ -35,9 +36,10 @@ from repro.kernels.mlp import MlpConfig, mlp_layer_tilelink
 from repro.kernels.moe_common import build_moe_routing, random_router_logits
 from repro.kernels.moe_layer import MoeConfig, moe_layer_tilelink
 from repro.kernels.moe_rs import MoeRsConfig, moe_rs_overlapped, moe_rs_tune_task
-from repro.kernels.ring_attention import ring_attention, ring_attention_tune_task
+from repro.kernels.ring_attention import ring_attention
 from repro.models.configs import AttnShape, MlpShape, MoeShape
 from repro.ops.attention import flash_attention_op
+from repro.registry import get_family
 from repro.runtime.context import DistContext
 from repro.tuner.cache import TuneCache
 from repro.tuner.search import TuneTask, task_cache_key
@@ -295,31 +297,19 @@ def tuned_vs_paper(shape: MlpShape | MoeShape, kernel: str = "ag_gemm",
     ``tuned_time`` and ``speedup`` alongside the winning candidate and the
     full :class:`repro.tuner.TuneResult` (prune statistics, trial log,
     cache provenance).
+
+    Dispatch is registry-driven: any family registered with a
+    ``shape_autotune`` hook is tunable here.
     """
-    if kernel == "ag_gemm":
-        m, k = shape.s, shape.h
-        res = AgGemmConfig.autotune(
-            m, shape.i // world, k, world=world, strategy=strategy,
-            max_trials=max_trials, cache=cache, preset=preset,
-            full_result=True)
-    elif kernel == "gemm_rs":
-        m, n = shape.s, shape.h
-        res = GemmRsConfig.autotune(
-            m, n, shape.i // world, world=world, strategy=strategy,
-            max_trials=max_trials, cache=cache, preset=preset,
-            full_result=True)
-    elif kernel == "ag_moe":
-        res = AgMoeConfig.autotune(
-            shape.s, shape.h, shape.i // world, shape.e, shape.topk,
-            world=world, strategy=strategy, max_trials=max_trials,
-            cache=cache, preset=preset, full_result=True)
-    elif kernel == "moe_rs":
-        res = MoeRsConfig.autotune(
-            shape.s, shape.h, shape.i // world, shape.e, shape.topk,
-            world=world, strategy=strategy, max_trials=max_trials,
-            cache=cache, preset=preset, full_result=True)
-    else:
+    try:
+        fam = get_family(kernel)
+    except RegistryError:
+        fam = None
+    if fam is None or fam.shape_autotune is None:
         raise ValueError(f"unknown tunable kernel {kernel!r}")
+    res = fam.shape_autotune(shape, world, strategy=strategy,
+                             max_trials=max_trials, cache=cache,
+                             preset=preset)
     return {
         "paper_time": res.default_time, "tuned_time": res.best_time,
         "speedup": (res.default_time / res.best_time
@@ -334,6 +324,22 @@ def tuned_vs_paper(shape: MlpShape | MoeShape, kernel: str = "ag_gemm",
 # Feed these to ``repro.tuner.sweep`` — one shared cache warms the whole
 # table, so the tuned columns of Figures 8/9 cost one offline sweep instead
 # of a tuning run per bench invocation.
+#
+# Task construction is registry-driven: each family's ``sweep_entries``
+# hook builds its own (name, task) pairs, and the per-table functions
+# below only gate on the family's ``sweep_category``.
+
+def _sweep_family(kernel: str, category: str, label: str):
+    """Resolve a sweep kernel name, enforcing its table membership."""
+    try:
+        fam = get_family(kernel)
+    except RegistryError:
+        fam = None
+    if fam is None or fam.sweep_category != category \
+            or fam.sweep_entries is None:
+        raise ValueError(f"unknown {label} sweep kernel {kernel!r}")
+    return fam
+
 
 def mlp_sweep_tasks(shapes: Sequence[MlpShape],
                     kernels: Sequence[str] = ("ag_gemm", "gemm_rs"),
@@ -343,17 +349,9 @@ def mlp_sweep_tasks(shapes: Sequence[MlpShape],
     tasks: list[tuple[str, TuneTask]] = []
     for shape in shapes:
         for kernel in kernels:
-            if kernel == "ag_gemm":
-                task = ag_gemm_tune_task(shape.s, shape.i // world, shape.h,
-                                         world=world, spec=spec,
-                                         preset=preset)
-            elif kernel == "gemm_rs":
-                task = gemm_rs_tune_task(shape.s, shape.h, shape.i // world,
-                                         world=world, spec=spec,
-                                         preset=preset)
-            else:
-                raise ValueError(f"unknown MLP sweep kernel {kernel!r}")
-            tasks.append((f"{shape.name}/{kernel}", task))
+            fam = _sweep_family(kernel, "mlp", "MLP")
+            tasks.extend(fam.sweep_entries(shape, world=world, spec=spec,
+                                           preset=preset))
     return tasks
 
 
@@ -365,21 +363,11 @@ def moe_sweep_tasks(shapes: Sequence[MoeShape],
     """(name, task) pairs covering the Table-4 MoE shape table."""
     tasks: list[tuple[str, TuneTask]] = []
     for shape in shapes:
-        ishard = shape.i // world
         for kernel in kernels:
-            if kernel == "ag_moe":
-                task = ag_moe_tune_task(shape.s, shape.h, ishard, shape.e,
-                                        shape.topk, world=world, spec=spec,
-                                        preset=preset,
-                                        router_seed=router_seed)
-            elif kernel == "moe_rs":
-                task = moe_rs_tune_task(shape.s, shape.h, ishard, shape.e,
-                                        shape.topk, world=world, spec=spec,
-                                        preset=preset,
-                                        router_seed=router_seed)
-            else:
-                raise ValueError(f"unknown MoE sweep kernel {kernel!r}")
-            tasks.append((f"{shape.name}/{kernel}", task))
+            fam = _sweep_family(kernel, "moe", "MoE")
+            tasks.extend(fam.sweep_entries(shape, world=world, spec=spec,
+                                           preset=preset,
+                                           router_seed=router_seed))
     return tasks
 
 
@@ -391,20 +379,33 @@ def attention_sweep_tasks(shapes: Sequence[AttnShape],
     """(name, task) pairs covering the Figure-10 attention sweep."""
     tasks: list[tuple[str, TuneTask]] = []
     for shape in shapes:
-        for seq_len in shape.seq_lens:
-            for kernel in kernels:
-                if kernel == "ag_attention":
-                    task = ag_attention_tune_task(
-                        shape.heads, shape.head_dim, seq_len, causal=causal,
-                        world=world, spec=spec, preset=preset)
-                elif kernel == "ring_attention":
-                    task = ring_attention_tune_task(
-                        shape.heads, shape.head_dim, seq_len, causal=causal,
-                        world=world, spec=spec, preset=preset)
-                else:
-                    raise ValueError(
-                        f"unknown attention sweep kernel {kernel!r}")
-                tasks.append((f"{shape.name}/s{seq_len}/{kernel}", task))
+        for kernel in kernels:
+            fam = _sweep_family(kernel, "attention", "attention")
+            tasks.extend(fam.sweep_entries(shape, world=world, spec=spec,
+                                           preset=preset, causal=causal))
+    return tasks
+
+
+def family_builders(kernel: str, *args, **kwargs):
+    """Resolve ``kernel``'s registered bench builders and build the grid."""
+    return get_family(kernel).bench_builders()(*args, **kwargs)
+
+
+def registry_sweep_tasks(world: int = DEFAULT_WORLD, *,
+                         spec: HardwareSpec = H800,
+                         ) -> list[tuple[str, TuneTask]]:
+    """Every warm-cached family's shipped sweep tasks, registry-driven.
+
+    This is the warm-cache refresh script's expected task set: exactly
+    the families registered with a ``warm_tasks`` hook contribute.
+    """
+    from repro.registry import families
+
+    tasks: list[tuple[str, TuneTask]] = []
+    for fam in families().values():
+        if fam.warm_tasks is None:
+            continue
+        tasks.extend(fam.warm_tasks(world, spec) or [])
     return tasks
 
 

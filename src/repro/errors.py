@@ -81,3 +81,11 @@ class ShapeError(TileLinkError):
 class ServeError(TileLinkError):
     """The serving simulator was misconfigured (unknown scenario, missing
     latency-table entry, invalid trace, ...)."""
+
+
+class RegistryError(TileLinkError):
+    """A kernel-family registration is incomplete, duplicated, or unknown.
+
+    Raised by :func:`repro.registry.register_family` when a family record is
+    missing a required piece (the message names it), and by lookups for
+    families that were never registered."""

@@ -31,6 +31,7 @@ from repro.lang.dsl import kernel
 from repro.mapping.layout import TileGrid
 from repro.mapping.static import AffineTileMapping
 from repro.config import H800, HardwareSpec
+from repro.registry import register_family
 from repro.runtime.context import DistContext
 from repro.runtime.launcher import launch_spmd
 from repro.sim.engine import Process
@@ -355,3 +356,71 @@ def ag_gemm_overlapped(
 
     return launch_spmd(machine, _ag_consumer_gemm, grid, args_common,
                        options=options, label=f"{tag}.gemm")
+
+
+# ---------------------------------------------------------------------------
+# Registry: the declarative family record (repro.registry)
+# ---------------------------------------------------------------------------
+
+def _analyze_plans():
+    from repro.analyze.registry import build_ag_gemm_plan as p
+
+    return [
+        lambda: p(world=2, mode="dma"),
+        lambda: p(world=4, mode="dma"),
+        lambda: p(world=8, mode="dma"),
+        # decoupled tile sizes: compute tile 2x the communication tile
+        lambda: p(world=4, mode="dma", block_m=32,
+                  name="ag_gemm/dma/w4/bm32"),
+        lambda: p(world=2, mode="pull"),
+        lambda: p(world=4, mode="pull"),
+        lambda: p(world=2, mode="push"),
+        lambda: p(world=8, mode="push"),
+    ]
+
+
+def _bench_builders():
+    from repro.bench.experiments import ag_gemm_builders
+
+    return ag_gemm_builders
+
+
+def _sweep_entries(shape, *, world: int, spec: HardwareSpec = H800,
+                   preset: str = "small", **_kw):
+    task = ag_gemm_tune_task(shape.s, shape.i // world, shape.h,
+                             world=world, spec=spec, preset=preset)
+    return [(f"{shape.name}/ag_gemm", task)]
+
+
+def _warm_tasks(world: int, spec: HardwareSpec):
+    from repro.models.configs import MLP_BENCHES
+
+    tasks = []
+    for shape in MLP_BENCHES:
+        tasks.extend(_sweep_entries(shape, world=world, spec=spec))
+    return tasks
+
+
+def _shape_autotune(shape, world: int, **tune_kw):
+    return AgGemmConfig.autotune(shape.s, shape.i // world, shape.h,
+                                 world=world, full_result=True, **tune_kw)
+
+
+register_family(
+    name="ag_gemm",
+    doc="AllGather + GEMM (tensor-parallel MLP part 1)",
+    config_cls=AgGemmConfig,
+    kernels=(_ag_consumer_gemm, _ag_pull_producer, _ag_push_producer),
+    launch=ag_gemm_overlapped,
+    search_space=lambda: ag_gemm_search_space(512, 128, 128, 2,
+                                              preset="small"),
+    tune_task=lambda: ag_gemm_tune_task(512, 128, 128, world=2),
+    analyze_plans=_analyze_plans,
+    bench_builders=_bench_builders,
+    worlds=(2, 4, 8),
+    modes=("dma", "pull", "push"),
+    sweep_category="mlp",
+    sweep_entries=_sweep_entries,
+    warm_tasks=_warm_tasks,
+    shape_autotune=_shape_autotune,
+)

@@ -30,6 +30,7 @@ from repro.lang import tl
 from repro.lang.dsl import kernel
 from repro.mapping.layout import TileGrid
 from repro.mapping.static import AffineTileMapping
+from repro.registry import register_family
 from repro.runtime.context import DistContext
 from repro.runtime.launcher import launch_spmd
 from repro.sim.engine import Process
@@ -265,3 +266,64 @@ def ag_moe_overlapped(
         NT=routing.n_tiles, H=cfg.h, D=cfg.d,
         BM=cfg.block_m, BN=cfg.block_n, BK=cfg.block_k,
     ), options=options, label=f"{tag}.group_gemm")
+
+
+# ---------------------------------------------------------------------------
+# Registry: the declarative family record (repro.registry)
+# ---------------------------------------------------------------------------
+
+def _analyze_plans():
+    from repro.analyze.registry import build_ag_moe_plan as p
+
+    return [
+        lambda: p(world=2),
+        lambda: p(world=4),
+    ]
+
+
+def _bench_builders():
+    from repro.bench.experiments import moe_part1_builders
+
+    return moe_part1_builders
+
+
+def _sweep_entries(shape, *, world: int, spec: HardwareSpec = H800,
+                   preset: str = "small", router_seed: int = 17, **_kw):
+    task = ag_moe_tune_task(shape.s, shape.h, shape.i // world, shape.e,
+                            shape.topk, world=world, spec=spec,
+                            preset=preset, router_seed=router_seed)
+    return [(f"{shape.name}/ag_moe", task)]
+
+
+def _warm_tasks(world: int, spec: HardwareSpec):
+    from repro.models.configs import MOE_BENCHES
+
+    tasks = []
+    for shape in MOE_BENCHES:
+        tasks.extend(_sweep_entries(shape, world=world, spec=spec))
+    return tasks
+
+
+def _shape_autotune(shape, world: int, **tune_kw):
+    return AgMoeConfig.autotune(shape.s, shape.h, shape.i // world,
+                                shape.e, shape.topk, world=world,
+                                full_result=True, **tune_kw)
+
+
+register_family(
+    name="ag_moe",
+    doc="AllGather + MoE GroupGEMM (expert-parallel MoE part 1)",
+    config_cls=AgMoeConfig,
+    kernels=(_ag_moe_group_gemm,),
+    launch=ag_moe_overlapped,
+    search_space=lambda: ag_moe_search_space(512, 128, 128, 2,
+                                             preset="small"),
+    tune_task=lambda: ag_moe_tune_task(512, 128, 128, 4, 2, world=2),
+    analyze_plans=_analyze_plans,
+    bench_builders=_bench_builders,
+    worlds=(2, 4),
+    sweep_category="moe",
+    sweep_entries=_sweep_entries,
+    warm_tasks=_warm_tasks,
+    shape_autotune=_shape_autotune,
+)

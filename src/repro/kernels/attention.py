@@ -26,6 +26,7 @@ import numpy as np
 from repro.config import H800, HardwareSpec
 from repro.errors import RuntimeLaunchError, ShapeError
 from repro.ops.attention import flash_segment_time, heads_to_seq, seq_to_heads
+from repro.registry import register_family
 from repro.runtime.context import DistContext
 from repro.sim.engine import Process, ProcessGen, Timeout
 from repro.tuner.costprune import ag_attention_lower_bound
@@ -318,3 +319,57 @@ def ag_attention_overlapped(
             start_delay=machine.cost.launch_overhead())
         for rank in range(world)
     ]
+
+
+# ---------------------------------------------------------------------------
+# Registry: the declarative family record (repro.registry)
+# ---------------------------------------------------------------------------
+
+def _analyze_plans():
+    from repro.analyze.registry import build_ag_attention_plan
+
+    return [build_ag_attention_plan]
+
+
+def _bench_builders():
+    from repro.bench.experiments import attention_builders
+
+    return attention_builders
+
+
+def _sweep_entries(shape, *, world: int, spec: HardwareSpec = H800,
+                   preset: str = "small", causal: bool = True, **_kw):
+    tasks = []
+    for seq_len in shape.seq_lens:
+        task = ag_attention_tune_task(shape.heads, shape.head_dim, seq_len,
+                                      causal=causal, world=world, spec=spec,
+                                      preset=preset)
+        tasks.append((f"{shape.name}/s{seq_len}/ag_attention", task))
+    return tasks
+
+
+def _warm_tasks(world: int, spec: HardwareSpec):
+    from repro.models.configs import ATTENTION_BENCHES
+
+    tasks = []
+    for shape in ATTENTION_BENCHES:
+        tasks.extend(_sweep_entries(shape, world=world, spec=spec))
+    return tasks
+
+
+register_family(
+    name="ag_attention",
+    doc="KV AllGather + flash attention (sequence parallel)",
+    config_cls=AgAttentionConfig,
+    launch=ag_attention_overlapped,
+    search_space=lambda: attention_search_space(4, 32, 512, 2,
+                                                preset="small"),
+    tune_task=lambda: ag_attention_tune_task(4, 32, 512, world=2),
+    analyze_plans=_analyze_plans,
+    bench_builders=_bench_builders,
+    worlds=(1,),
+    tile_ir=False,
+    sweep_category="attention",
+    sweep_entries=_sweep_entries,
+    warm_tasks=_warm_tasks,
+)

@@ -32,6 +32,7 @@ from repro.lang.dsl import kernel
 from repro.mapping.layout import TileGrid
 from repro.mapping.static import AffineTileMapping
 from repro.config import H800, HardwareSpec
+from repro.registry import register_family
 from repro.runtime.context import DistContext
 from repro.runtime.launcher import launch_spmd
 from repro.sim.engine import Process, ProcessGen
@@ -416,3 +417,65 @@ def gemm_rs_overlapped(
         out=ctx.heap.tensors(out_name), channel=channels,
         M=cfg.m, N=cfg.n, BMR=cfg.block_mr, BNR=cfg.block_nr, WORLD=world,
     ), options=options, label=f"{tag}.reduce")
+
+
+# ---------------------------------------------------------------------------
+# Registry: the declarative family record (repro.registry)
+# ---------------------------------------------------------------------------
+
+def _analyze_plans():
+    from repro.analyze.registry import build_gemm_rs_plan as p
+
+    return [
+        lambda: p(world=2, mode="ring"),
+        lambda: p(world=4, mode="ring"),
+        lambda: p(world=2, mode="hybrid"),
+        lambda: p(world=4, mode="hybrid"),
+    ]
+
+
+def _bench_builders():
+    from repro.bench.experiments import gemm_rs_builders
+
+    return gemm_rs_builders
+
+
+def _sweep_entries(shape, *, world: int, spec: HardwareSpec = H800,
+                   preset: str = "small", **_kw):
+    task = gemm_rs_tune_task(shape.s, shape.h, shape.i // world,
+                             world=world, spec=spec, preset=preset)
+    return [(f"{shape.name}/gemm_rs", task)]
+
+
+def _warm_tasks(world: int, spec: HardwareSpec):
+    from repro.models.configs import MLP_BENCHES
+
+    tasks = []
+    for shape in MLP_BENCHES:
+        tasks.extend(_sweep_entries(shape, world=world, spec=spec))
+    return tasks
+
+
+def _shape_autotune(shape, world: int, **tune_kw):
+    return GemmRsConfig.autotune(shape.s, shape.h, shape.i // world,
+                                 world=world, full_result=True, **tune_kw)
+
+
+register_family(
+    name="gemm_rs",
+    doc="GEMM + ReduceScatter (tensor-parallel MLP part 2)",
+    config_cls=GemmRsConfig,
+    kernels=(_gemm_rs_ring, _gemm_producer, _rs_reduce),
+    launch=gemm_rs_overlapped,
+    search_space=lambda: gemm_rs_search_space(512, 128, 128, 2,
+                                              preset="small"),
+    tune_task=lambda: gemm_rs_tune_task(512, 128, 128, world=2),
+    analyze_plans=_analyze_plans,
+    bench_builders=_bench_builders,
+    worlds=(2, 4),
+    modes=("ring", "hybrid"),
+    sweep_category="mlp",
+    sweep_entries=_sweep_entries,
+    warm_tasks=_warm_tasks,
+    shape_autotune=_shape_autotune,
+)

@@ -36,6 +36,7 @@ from repro.lang import tl
 from repro.lang.dsl import kernel
 from repro.mapping.dynamic import TableTileMapping
 from repro.mapping.layout import TileGrid
+from repro.registry import register_family
 from repro.runtime.context import DistContext
 from repro.runtime.launcher import launch_spmd
 from repro.sim.engine import Process, ProcessGen
@@ -316,3 +317,64 @@ def moe_rs_overlapped(
         out=ctx.heap.tensors(out_name), channel=channels,
         MP=m_per, H=cfg.h, BMR=cfg.block_mr, BNR=cfg.block_nr, WORLD=world,
     ), options=options, label=f"{tag}.reduce")
+
+
+# ---------------------------------------------------------------------------
+# Registry: the declarative family record (repro.registry)
+# ---------------------------------------------------------------------------
+
+def _analyze_plans():
+    from repro.analyze.registry import build_moe_rs_plan as p
+
+    return [
+        lambda: p(world=2),
+        lambda: p(world=4),
+    ]
+
+
+def _bench_builders():
+    from repro.bench.experiments import moe_part2_builders
+
+    return moe_part2_builders
+
+
+def _sweep_entries(shape, *, world: int, spec: HardwareSpec = H800,
+                   preset: str = "small", router_seed: int = 17, **_kw):
+    task = moe_rs_tune_task(shape.s, shape.h, shape.i // world, shape.e,
+                            shape.topk, world=world, spec=spec,
+                            preset=preset, router_seed=router_seed)
+    return [(f"{shape.name}/moe_rs", task)]
+
+
+def _warm_tasks(world: int, spec: HardwareSpec):
+    from repro.models.configs import MOE_BENCHES
+
+    tasks = []
+    for shape in MOE_BENCHES:
+        tasks.extend(_sweep_entries(shape, world=world, spec=spec))
+    return tasks
+
+
+def _shape_autotune(shape, world: int, **tune_kw):
+    return MoeRsConfig.autotune(shape.s, shape.h, shape.i // world,
+                                shape.e, shape.topk, world=world,
+                                full_result=True, **tune_kw)
+
+
+register_family(
+    name="moe_rs",
+    doc="GroupGEMM + Scatter + TopkReduce + ReduceScatter (MoE part 2)",
+    config_cls=MoeRsConfig,
+    kernels=(_moe_rs_producer, _moe_rs_reduce),
+    launch=moe_rs_overlapped,
+    search_space=lambda: moe_rs_search_space(512, 128, 128, 2,
+                                             preset="small"),
+    tune_task=lambda: moe_rs_tune_task(512, 128, 128, 4, 2, world=2),
+    analyze_plans=_analyze_plans,
+    bench_builders=_bench_builders,
+    worlds=(2, 4),
+    sweep_category="moe",
+    sweep_entries=_sweep_entries,
+    warm_tasks=_warm_tasks,
+    shape_autotune=_shape_autotune,
+)

@@ -23,6 +23,7 @@ from repro.kernels.attention import (
     attention_search_space,
 )
 from repro.ops.attention import flash_segment_time, heads_to_seq, seq_to_heads
+from repro.registry import register_family
 from repro.runtime.context import DistContext
 from repro.sim.engine import Process, ProcessGen, Timeout
 from repro.tuner.costprune import ring_attention_lower_bound
@@ -165,3 +166,49 @@ def ring_attention(
             start_delay=machine.cost.launch_overhead())
         for rank in range(world)
     ]
+
+
+# ---------------------------------------------------------------------------
+# Registry: the declarative family record (repro.registry)
+# ---------------------------------------------------------------------------
+
+def _analyze_plans():
+    from repro.analyze.registry import build_ring_attention_plan
+
+    return [build_ring_attention_plan]
+
+
+def _bench_builders():
+    # the ring baseline appears as the "RingAttn" column of the shared
+    # attention method grid
+    from repro.bench.experiments import attention_builders
+
+    return attention_builders
+
+
+def _sweep_entries(shape, *, world: int, spec: HardwareSpec = H800,
+                   preset: str = "small", causal: bool = True, **_kw):
+    tasks = []
+    for seq_len in shape.seq_lens:
+        task = ring_attention_tune_task(shape.heads, shape.head_dim, seq_len,
+                                        causal=causal, world=world,
+                                        spec=spec, preset=preset)
+        tasks.append((f"{shape.name}/s{seq_len}/ring_attention", task))
+    return tasks
+
+
+register_family(
+    name="ring_attention",
+    doc="RingAttention baseline (rotating-KV lockstep ring)",
+    config_cls=AgAttentionConfig,
+    launch=ring_attention,
+    search_space=lambda: attention_search_space(4, 32, 512, 2,
+                                                preset="small"),
+    tune_task=lambda: ring_attention_tune_task(4, 32, 512, world=2),
+    analyze_plans=_analyze_plans,
+    bench_builders=_bench_builders,
+    worlds=(1,),
+    tile_ir=False,
+    sweep_category="attention",
+    sweep_entries=_sweep_entries,
+)

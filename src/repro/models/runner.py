@@ -14,7 +14,9 @@ so the request loop never touches the discrete-event engine).
 paper configs) or ``"tilelink-tuned"`` (overlapped kernels with each
 op's config resolved through the shipped warm tuner cache — a pure
 lookup that falls back to the paper config on a miss and never runs a
-tuning search inside the timed build).
+tuning search inside the timed build) — or any extra serving method a
+kernel family contributes through the registry
+(:func:`repro.registry.serve_method_names` lists the full axis).
 
 Multi-node (16 GPU) runs model the paper's DP-across-nodes / TP-in-node
 deployment: each node runs the same TP-8 layer, plus a per-layer

@@ -20,6 +20,13 @@ MoE expert layer keeps the paper config under ``tilelink-tuned``: its
 tuned ``block_m`` doubles as the routing granularity, and the shipped
 sweep does not cover the e2e routing seeds.
 
+Beyond the three base methods, kernel families registered with a
+``serve_method`` (:mod:`repro.registry`) extend the axis: such a method
+reuses a base method's layer construction but swaps individual op slots
+(``"ag_gemm"``/``"gemm_rs"``) for the family's own launcher —
+:func:`build_layer` resolves the name and threads the overrides through
+both blocks.
+
 Coarser 256-tiles keep the event count tractable at batch 4 x seq 8192;
 row tiles shrink with the token count so short-sequence variants (the
 serving simulator's step-latency buckets) stay tile-aligned.
@@ -29,6 +36,7 @@ from __future__ import annotations
 
 from repro.baselines import nonoverlap, vllm_moe
 from repro.config import HardwareSpec
+from repro.errors import RegistryError
 from repro.kernels.ag_gemm import AgGemmConfig, ag_gemm_overlapped, \
     ag_gemm_tune_task
 from repro.kernels.gemm_rs import GemmRsConfig, gemm_rs_overlapped, \
@@ -38,14 +46,18 @@ from repro.kernels.moe_common import MoeRouting, build_moe_routing, \
 from repro.kernels.moe_layer import MoeConfig, moe_layer_tilelink
 from repro.kernels.mlp import MlpConfig, mlp_layer_tilelink
 from repro.models.configs import ModelConfig
+from repro.ops.activation import silu_op
 from repro.ops.attention import flash_attention_op
+from repro.registry import BASE_SERVE_METHODS, resolve_serve_method, \
+    serve_method_names
 from repro.runtime.context import DistContext
 from repro.tuner.cache import TuneCache
 from repro.tuner.space import TunerError
 from repro.tuner.warm import resolve_warm_cache, warm_tuned_config
 
-#: the methods the layer builders (and the e2e runner) accept
-METHODS = ("torch", "tilelink", "tilelink-tuned")
+#: the base methods every layer builder accepts; registered families can
+#: extend the axis (see :func:`repro.registry.serve_method_names`)
+METHODS = BASE_SERVE_METHODS
 
 #: e2e tile sizes (coarser than the single-layer benches, for speed)
 BM, BN, BK, BMR, BNR = 256, 256, 64, 256, 512
@@ -84,7 +96,11 @@ def _warm_cfg(warm: TuneCache | None, make_task, ctx: DistContext):
 
 def _ag_gemm(ctx: DistContext, method: str, m: int, n: int, k: int,
              x: str, w: str, out: str, tag: str,
-             warm: TuneCache | None = None) -> None:
+             warm: TuneCache | None = None,
+             override=None) -> None:
+    if override is not None:
+        override(ctx, m, n, k, x, w, out, tag=tag, warm=warm)
+        return
     if method == "torch":
         nonoverlap.ag_gemm_nonoverlap(ctx, m, n, k, x, w, out, tag=tag)
         return
@@ -100,7 +116,11 @@ def _ag_gemm(ctx: DistContext, method: str, m: int, n: int, k: int,
 
 def _gemm_rs(ctx: DistContext, method: str, m: int, n: int, k: int,
              x: str, w: str, out: str, tag: str,
-             warm: TuneCache | None = None) -> None:
+             warm: TuneCache | None = None,
+             override=None) -> None:
+    if override is not None:
+        override(ctx, m, n, k, x, w, out, tag=tag, warm=warm)
+        return
     if method == "torch":
         nonoverlap.gemm_rs_nonoverlap(ctx, m, n, k, x, w, out, tag=tag)
         return
@@ -117,8 +137,10 @@ def _gemm_rs(ctx: DistContext, method: str, m: int, n: int, k: int,
 
 def build_attention_block(ctx: DistContext, model: ModelConfig, method: str,
                           tag: str = "attn",
-                          warm: TuneCache | None = None) -> None:
+                          warm: TuneCache | None = None,
+                          overrides: dict | None = None) -> None:
     """QKV projection + core flash attention + output projection."""
+    ov = overrides or {}
     world = ctx.world_size
     tokens = model.tokens
     h = model.hidden
@@ -130,7 +152,7 @@ def build_attention_block(ctx: DistContext, model: ModelConfig, method: str,
     ctx.alloc(f"{tag}.qkv", (tokens, qkv_width), "float16", fill=None)
     _ag_gemm(ctx, method, tokens, qkv_width, h,
              f"{tag}.x", f"{tag}.w_qkv", f"{tag}.qkv", tag=f"{tag}.qkv_proj",
-             warm=warm)
+             warm=warm, override=ov.get("ag_gemm"))
 
     # core attention: per (batch x local head).  kv_len == 0 is the
     # prefill form (queries attend causally over themselves); kv_len > 0
@@ -163,14 +185,16 @@ def build_attention_block(ctx: DistContext, model: ModelConfig, method: str,
     ctx.alloc(f"{tag}.out", (tokens // world, h), "float32", fill=None)
     _gemm_rs(ctx, method, tokens, h, attn_w,
              f"{tag}.ctx", f"{tag}.w_o", f"{tag}.out", tag=f"{tag}.o_proj",
-             warm=warm)
+             warm=warm, override=ov.get("gemm_rs"))
 
 
 def build_ffn_block(ctx: DistContext, model: ModelConfig, method: str,
                     routing: MoeRouting | None = None,
                     tag: str = "ffn",
-                    warm: TuneCache | None = None) -> None:
+                    warm: TuneCache | None = None,
+                    overrides: dict | None = None) -> None:
     """Dense MLP, MoE layer, or (Qwen) shared-expert MLP + MoE."""
+    ov = overrides or {}
     world = ctx.world_size
     tokens = model.tokens
     h = model.hidden
@@ -184,6 +208,24 @@ def build_ffn_block(ctx: DistContext, model: ModelConfig, method: str,
             cfg = MlpConfig(m=tokens, h=h, i=i)
             nonoverlap.mlp_nonoverlap(ctx, cfg, f"{sub}.x", f"{sub}.w1",
                                       f"{sub}.w2", f"{sub}.out", tag=sub)
+            return
+        if ov:
+            # an op slot is overridden — assemble AG+GEMM -> SiLU ->
+            # GEMM+RS through the dispatchers so the override lands on
+            # its slot while the other half keeps the base-method path
+            ishard = i // world
+            inter = ctx.alloc(f"{sub}.inter", (tokens, ishard), "float16",
+                              fill=None)
+            act = ctx.alloc(f"{sub}.act", (tokens, ishard), "float16",
+                            fill=None)
+            _ag_gemm(ctx, method, tokens, ishard, h,
+                     f"{sub}.x", f"{sub}.w1", f"{sub}.inter",
+                     tag=f"{sub}.p1", warm=warm, override=ov.get("ag_gemm"))
+            for rank in range(world):
+                silu_op(ctx, rank, inter[rank], act[rank])
+            _gemm_rs(ctx, method, tokens, h, ishard,
+                     f"{sub}.act", f"{sub}.w2", f"{sub}.out",
+                     tag=f"{sub}.p2", warm=warm, override=ov.get("gemm_rs"))
             return
         bm = _row_tile(BM, tokens, world)
         bmr = _row_tile(BMR, tokens, world)
@@ -247,11 +289,18 @@ def build_ffn_block(ctx: DistContext, model: ModelConfig, method: str,
 
 
 def build_layer(ctx: DistContext, model: ModelConfig, method: str) -> None:
-    """One full transformer layer (attention block + FFN block)."""
-    if method not in METHODS:
+    """One full transformer layer (attention block + FFN block).
+
+    ``method`` may be a base method or any registry-contributed serving
+    method; the latter reuses its base method's construction with the
+    family's op overrides swapped into the matching slots.
+    """
+    try:
+        base, overrides = resolve_serve_method(method)
+    except RegistryError:
         raise ValueError(f"unknown method {method!r}; expected one of "
-                         f"{METHODS}")
+                         f"{serve_method_names()}") from None
     # resolve the warm cache once per layer; every op below shares it
-    warm = resolve_warm_cache() if method == "tilelink-tuned" else None
-    build_attention_block(ctx, model, method, warm=warm)
-    build_ffn_block(ctx, model, method, warm=warm)
+    warm = resolve_warm_cache() if base == "tilelink-tuned" else None
+    build_attention_block(ctx, model, base, warm=warm, overrides=overrides)
+    build_ffn_block(ctx, model, base, warm=warm, overrides=overrides)

@@ -1,0 +1,111 @@
+"""Serving-engine throughput smoke: the event-driven core must stay fast.
+
+``bench_serving.py`` checks what the simulator *says*; this bench checks
+how fast it says it.  The event-driven engine (:mod:`repro.serve.engine`)
+exists so fleet-scale what-if runs (hundreds of configs x 10^5..10^6
+requests) stay interactive, and a regression that quietly reverts it to
+per-step interpretation costs 10x wall time without failing a single
+correctness test.  So CI runs the acceptance workload shape — a
+100k-request chat trace against the kv-aware paged pool — and fails when
+simulated requests per wall-clock second drop below the floor checked
+into ``benchmarks/serving_perf.json`` (set ~5x under a warm dev-box
+measurement, so only a structural regression trips it, not runner
+jitter).
+
+The run also pins the streaming-metrics contract: a million-step run
+must hold O(distinct values) sample state, not O(steps) — the seed's
+per-step lists were tens of MB per result.
+
+``REPRO_FAST=1`` trims the request count (the floor still applies; the
+engine's throughput is flat in n).  ``REPRO_SERVE_PERF_ROWS=PATH`` dumps
+the measurement as strict JSON for
+``validate_bench_json.py --schema serving-perf``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from benchmarks.common import FAST, emit_json, run_once
+from repro.models.configs import E2E_MODELS
+from repro.serve import (
+    KVCacheConfig,
+    ServerConfig,
+    StepLatencyTable,
+    generate_requests,
+    resolve_latency_table,
+    serve,
+)
+
+WORLD = 8
+SEED = 0
+CONFIG_PATH = Path(__file__).resolve().parent / "serving_perf.json"
+
+
+def _config() -> dict:
+    with open(CONFIG_PATH) as fh:
+        return json.load(fh)
+
+
+def _table(model, method: str) -> StepLatencyTable:
+    table = resolve_latency_table() or StepLatencyTable(readonly=True)
+    table.ensure(model, method, world=WORLD, seed=SEED)
+    return table
+
+
+def test_serving_engine_throughput_floor(benchmark) -> None:
+    cfg = _config()
+    model = {m.name: m for m in E2E_MODELS}[cfg["model"]]
+    method = cfg["method"]
+    n = cfg["n_requests"] // 10 if FAST else cfg["n_requests"]
+    table = _table(model, method)
+    reqs = generate_requests(cfg["scenario"], n, seed=SEED)
+    server = ServerConfig(max_batch=cfg["max_batch"])
+    kv = KVCacheConfig(block_tokens=cfg["block_tokens"],
+                       pool_blocks=cfg["pool_blocks"])
+
+    def run():
+        t0 = time.perf_counter()
+        res = serve(reqs, model, method, table, server,
+                    world=WORLD, seed=SEED, kv=kv)
+        return res, time.perf_counter() - t0
+
+    res, wall_s = run_once(benchmark, run)
+    sim_rps = n / wall_s
+    steps = res.n_prefill_steps + res.n_decode_steps
+    print(f"\nServing perf — {cfg['scenario']}/{method}: {n} requests, "
+          f"{steps} engine steps in {wall_s:.2f}s wall "
+          f"= {sim_rps:,.0f} simulated req/s (floor "
+          f"{cfg['min_sim_rps']:,.0f})")
+    emit_json("Serving perf", f"{cfg['scenario']}/{method}/wall", wall_s)
+
+    rows_path = os.environ.get("REPRO_SERVE_PERF_ROWS")
+    if rows_path:
+        row = {"scenario": cfg["scenario"], "method": method,
+               "n_requests": n, "wall_s": wall_s, "sim_rps": sim_rps,
+               "min_sim_rps": cfg["min_sim_rps"]}
+        with open(rows_path, "w") as fh:
+            json.dump([row], fh, indent=1, sort_keys=True, allow_nan=False)
+
+    # the run is real work, not a no-op that games the floor
+    assert len(res.logs) == n
+    assert all(log.finish_s is not None for log in res.logs)
+    assert steps > n                    # decode dominates a chat trace
+
+    # streaming metrics: sample state is O(distinct values), never
+    # O(steps) — each series covers ~all steps but stores a tiny multiset
+    assert len(res.batch_size) == steps
+    for name in ("queue_depth", "batch_size", "pool_occupancy"):
+        series = getattr(res, name)
+        assert series.distinct <= max(1, len(series)) / 50, name
+    assert res.batch_size.distinct <= cfg["max_batch"] + 1
+    assert res.pool_occupancy.distinct <= cfg["pool_blocks"] + 1
+
+    # the floor itself — a structural slowdown (per-step interpretation,
+    # accidental O(n^2) state) lands far below it
+    assert sim_rps >= cfg["min_sim_rps"], (
+        f"serving engine regressed: {sim_rps:,.0f} simulated req/s is "
+        f"below the {cfg['min_sim_rps']:,.0f} floor in {CONFIG_PATH.name}")

@@ -21,8 +21,11 @@ without a refresh:
 A cold refresh simulates ``len(DEFAULT_BUCKETS) x
 len(DEFAULT_CTX_BUCKETS)`` (= 8 x 4) ``build_layer`` points per
 (model, method) — the context-bucket axis prices decode as a function
-of resident KV — which takes a few minutes of wall time.  ``--check``
-also fails when either bucket ladder drifted from the defaults.
+of resident KV — which takes a few minutes of wall time; ``--workers N``
+shards the independent cell simulations over forked processes and feeds
+the values back through ``ensure(simulate=...)`` in serial order, so the
+written file is byte-identical to a serial refresh.  ``--check`` also
+fails when either bucket ladder drifted from the defaults.
 """
 
 from __future__ import annotations
@@ -108,11 +111,56 @@ def check(path: Path) -> int:
     return 0
 
 
-def refresh(path: Path) -> int:
+def _simulate_cells(entries, workers: int):
+    """Simulate every (entry, ctx, bucket) cell across ``workers``
+    forked processes; returns the values in exactly the order a serial
+    :meth:`StepLatencyTable.ensure` sweep would compute them (entry
+    order, context rows outer, token buckets inner).
+
+    Each cell is one independent ``layer_time`` simulation, so the grid
+    fans out at cell grain; the parent then replays the values into
+    ``ensure(simulate=...)`` in serial insertion order, which makes the
+    written JSON byte-identical to a ``--workers 1`` run.
+    """
+    from repro.models.runner import layer_time
+    from repro.util.forkpool import fork_map
+
+    # mirror ensure()'s ladder normalization so job order matches its
+    # grid loops exactly
+    buckets = sorted(set(int(b) for b in DEFAULT_BUCKETS))
+    ctx_buckets = sorted(set(int(c) for c in DEFAULT_CTX_BUCKETS))
+    jobs = []
+    for _label, model, method in entries:
+        for c in ctx_buckets:
+            for b in buckets:
+                variant = model.with_tokens(b)
+                if c > 0:
+                    variant = variant.with_context(c)
+                jobs.append((variant, method))
+
+    def cell(index: int) -> float:
+        variant, method = jobs[index]
+        return layer_time(variant, method, world=WORLD, seed=SEED, spec=H800)
+
+    return fork_map(cell, len(jobs), workers)
+
+
+def refresh(path: Path, workers: int = 1) -> int:
     entries = expected_entries()
     print(f"Refreshing {path}: {len(entries)} entries x "
           f"{len(DEFAULT_BUCKETS)} token buckets x "
           f"{len(DEFAULT_CTX_BUCKETS)} context buckets (world={WORLD}) ...")
+    t0 = time.time()
+    simulate = None
+    if workers > 1:
+        n_cells = (len(entries) * len(DEFAULT_BUCKETS)
+                   * len(DEFAULT_CTX_BUCKETS))
+        print(f"  simulating {n_cells} cells over {workers} workers ...")
+        values = iter(_simulate_cells(entries, workers))
+
+        def simulate(*_args, **_kwargs):
+            return next(values)
+
     # build into a fresh sibling file, then atomically replace the
     # target: a refreshed table contains exactly the expected entries.
     fd, tmp = tempfile.mkstemp(dir=str(path.parent), prefix=path.name,
@@ -120,13 +168,13 @@ def refresh(path: Path) -> int:
     os.close(fd)
     os.unlink(tmp)          # the table wants to create the file itself
     try:
-        t0 = time.time()
         table = StepLatencyTable(tmp)
         for label, model, method in entries:
             print(f"  {label} ...")
             table.ensure(model, method, world=WORLD, seed=SEED,
                          buckets=DEFAULT_BUCKETS,
-                         ctx_buckets=DEFAULT_CTX_BUCKETS)
+                         ctx_buckets=DEFAULT_CTX_BUCKETS,
+                         simulate=simulate)
         os.replace(tmp, path)
     except BaseException:
         if os.path.exists(tmp):
@@ -145,10 +193,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--out", type=Path, default=DEFAULT_PATH,
                         help=f"table file to write/check "
                              f"(default: {DEFAULT_PATH})")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="fan the per-cell simulations out over N "
+                             "forked processes (the written table is "
+                             "byte-identical to a serial refresh)")
     args = parser.parse_args(argv)
     if args.check:
         return check(args.out)
-    return refresh(args.out)
+    return refresh(args.out, workers=args.workers)
 
 
 if __name__ == "__main__":

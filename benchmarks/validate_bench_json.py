@@ -19,13 +19,19 @@ Three row shapes are covered, selected with ``--schema``:
   SLO attainment.  TPOT is ``null`` (on *both* percentile fields)
   exactly when no request ever decoded; the pool-occupancy pair is
   ``null`` together exactly when the run had no KV pool.
+* ``serving-perf`` — the engine-throughput smoke rows written by
+  ``benchmarks/bench_serving_perf.py`` when ``REPRO_SERVE_PERF_ROWS``
+  is set: wall seconds and simulated requests per wall second for the
+  acceptance workload, plus the floor the run was held to.  A row whose
+  ``sim_rps`` sits below its ``min_sim_rps`` fails validation — the
+  floor travels with the measurement, so a stale file cannot pass.
 
 This validator is the CI tripwire that keeps the contracts from
 rotting: it fails loudly when the file is missing, empty, non-strict
 JSON, or any row drifts off schema.
 
 Usage:  python benchmarks/validate_bench_json.py PATH [--min-rows N]
-                                            [--schema bench|sweep|serving]
+                                [--schema bench|sweep|serving|serving-perf]
 """
 
 from __future__ import annotations
@@ -78,6 +84,15 @@ SERVING_ROW_SCHEMA = {
     "recompute_tokens": (int,),
     "pool_occupancy_p50": (int, float, None),
     "pool_occupancy_max": (int, float, None),
+}
+
+SERVING_PERF_ROW_SCHEMA = {
+    "scenario": (str,),
+    "method": (str,),
+    "n_requests": (int,),
+    "wall_s": (int, float),
+    "sim_rps": (int, float),
+    "min_sim_rps": (int, float),
 }
 
 
@@ -194,6 +209,23 @@ def _serving_row_check(i: int, row: dict) -> list[str]:
     return errors
 
 
+def _serving_perf_row_check(i: int, row: dict) -> list[str]:
+    errors = []
+    for field in ("scenario", "method"):
+        if isinstance(row.get(field), str) and not row[field].strip():
+            errors.append(f"row {i}: field {field!r} is empty")
+    for field in ("n_requests", "wall_s", "sim_rps", "min_sim_rps"):
+        if _is_number(row.get(field)) and not row[field] > 0:
+            errors.append(f"row {i}: field {field!r} must be positive, "
+                          f"got {row[field]}")
+    if _is_number(row.get("sim_rps")) and _is_number(row.get("min_sim_rps")) \
+            and row["sim_rps"] < row["min_sim_rps"]:
+        errors.append(f"row {i}: sim_rps {row['sim_rps']:.0f} is below the "
+                      f"min_sim_rps floor {row['min_sim_rps']:.0f} — the "
+                      f"serving engine regressed")
+    return errors
+
+
 def validate_rows(rows: object, min_rows: int = 1) -> list[str]:
     """Return a list of measurement-schema violations (empty == valid)."""
     return _validate_against(rows, ROW_SCHEMA, min_rows, _bench_row_check)
@@ -211,13 +243,21 @@ def validate_serving_rows(rows: object, min_rows: int = 1) -> list[str]:
                              _serving_row_check)
 
 
+def validate_serving_perf_rows(rows: object, min_rows: int = 1) -> list[str]:
+    """Return a list of serving-perf-schema violations (empty == valid)."""
+    return _validate_against(rows, SERVING_PERF_ROW_SCHEMA, min_rows,
+                             _serving_perf_row_check)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("path", help="JSON file emitted by --json or "
                                      "REPRO_SWEEP_ROWS")
     parser.add_argument("--min-rows", type=int, default=1,
                         help="minimum number of rows")
-    parser.add_argument("--schema", choices=("bench", "sweep", "serving"),
+    parser.add_argument("--schema",
+                        choices=("bench", "sweep", "serving",
+                                 "serving-perf"),
                         default="bench",
                         help="row shape to validate (default: bench)")
     args = parser.parse_args(argv)
@@ -234,7 +274,8 @@ def main(argv: list[str] | None = None) -> int:
         return 1
 
     validate = {"bench": validate_rows, "sweep": validate_sweep_rows,
-                "serving": validate_serving_rows}[args.schema]
+                "serving": validate_serving_rows,
+                "serving-perf": validate_serving_perf_rows}[args.schema]
     errors = validate(rows, min_rows=args.min_rows)
     if errors:
         for err in errors:

@@ -22,6 +22,11 @@ traffic.  Four stages, one module each:
   admission, pluggable queue policies (FCFS, shortest-prompt-first) and,
   given a :class:`KVCacheConfig`, memory-aware admission with
   preemption-by-recompute under pool pressure;
+* :mod:`repro.serve.engine` — the event-driven core ``serve()`` actually
+  runs: struct-of-arrays batch state and decode macro-stepping between
+  batch-composition events, bit-identical to the reference loop
+  (:func:`serve_reference`) at ~10x the throughput, with per-step
+  samples folded into :class:`StepStats` streaming accumulators;
 * :mod:`repro.serve.metrics` — throughput, p50/p99 TTFT and TPOT,
   queue depth/wait, preemption and pool-occupancy statistics and SLO
   attainment, with strict-JSON report rows.
@@ -54,6 +59,7 @@ from repro.serve.latency import (
     DEFAULT_CTX_BUCKETS,
     ENV_LATENCY_TABLE,
     StepLatencyTable,
+    StepPricer,
     entry_key,
     latency_table_path,
     model_key,
@@ -66,12 +72,14 @@ from repro.serve.metrics import (
     percentile,
     summarize,
 )
+from repro.serve.samples import StepStats
 from repro.serve.scheduler import (
     POLICIES,
     RequestLog,
     ServeResult,
     ServerConfig,
     serve,
+    serve_reference,
 )
 from repro.serve.workload import (
     SCENARIOS,
@@ -86,7 +94,8 @@ __all__ = [
     "ENV_LATENCY_TABLE", "KVCacheConfig", "KVCacheManager", "KVFootprint",
     "POLICIES", "Request", "RequestLog", "SCENARIOS", "Scenario",
     "ServeResult", "ServerConfig", "ServingReport", "SloSpec",
-    "StepLatencyTable", "VICTIM_POLICIES", "entry_key", "format_reports",
-    "generate_requests", "latency_table_path", "model_key", "percentile",
-    "replay_trace", "resolve_latency_table", "serve", "summarize",
+    "StepLatencyTable", "StepPricer", "StepStats", "VICTIM_POLICIES",
+    "entry_key", "format_reports", "generate_requests",
+    "latency_table_path", "model_key", "percentile", "replay_trace",
+    "resolve_latency_table", "serve", "serve_reference", "summarize",
 ]

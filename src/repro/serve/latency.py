@@ -49,6 +49,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+from bisect import bisect_left
 from pathlib import Path
 from typing import Callable, Iterable
 
@@ -131,6 +132,172 @@ def resolve_latency_table(path: str | os.PathLike | None = None
     return StepLatencyTable(p, readonly=True)
 
 
+class StepPricer:
+    """Pre-flattened bilinear ``(tokens, ctx) -> step seconds`` pricer
+    for one table entry.
+
+    Calling it reproduces the original interpolation arithmetic
+    operation-for-operation (bit-identical floats), with an O(1) memo on
+    every (row, tokens) lookup.  On top of the per-call form it exposes
+    the cell structure: :meth:`decode_segment` resolves the affine
+    context segment a ``(tokens, ctx)`` query falls in *once*, so the
+    event-driven engine (:mod:`repro.serve.engine`) prices a whole
+    macro-step of decode iterations through one cached closure instead
+    of re-bisecting both axes every step.
+    """
+
+    __slots__ = ("buckets", "ctx_buckets", "grid", "n_layers",
+                 "_rows", "_segments", "_coeffs")
+
+    def __init__(self, buckets: list[int], ctx_buckets: list[int],
+                 grid: list[list[float]], n_layers: int):
+        self.buckets = buckets
+        self.ctx_buckets = ctx_buckets
+        self.grid = grid
+        self.n_layers = n_layers
+        self._rows: dict = {}       # (ctx-row index, tokens) -> per-layer s
+        self._segments: dict = {}   # (tokens, segment index) -> (fn, end)
+        self._coeffs: dict = {}     # (tokens, segment index) -> coeff tuple
+
+    def _row_at(self, row: int, tokens: int) -> float:
+        """Per-layer seconds on one context row, memoised per tokens."""
+        key = (row, tokens)
+        cached = self._rows.get(key)
+        if cached is not None:
+            return cached
+        buckets = self.buckets
+        layer_s = self.grid[row]
+        if tokens <= buckets[0]:
+            # fixed launch/collective overheads dominate below the
+            # smallest bucket — charge its floor
+            value = layer_s[0]
+        elif tokens >= buckets[-1]:
+            # extrapolate on the last segment's per-token slope
+            slope = ((layer_s[-1] - layer_s[-2])
+                     / (buckets[-1] - buckets[-2]))
+            value = layer_s[-1] + slope * (tokens - buckets[-1])
+        else:
+            i = bisect_left(buckets, tokens)
+            lo_b, hi_b = buckets[i - 1], buckets[i]
+            lo_t, hi_t = layer_s[i - 1], layer_s[i]
+            frac = (tokens - lo_b) / (hi_b - lo_b)
+            value = lo_t + frac * (hi_t - lo_t)
+        self._rows[key] = value
+        return value
+
+    def __call__(self, tokens: int, ctx: int = 0) -> float:
+        cb = self.ctx_buckets
+        if ctx <= cb[0]:
+            per_layer = self._row_at(0, tokens)
+        elif ctx >= cb[-1]:
+            hi = self._row_at(len(cb) - 1, tokens)
+            lo = self._row_at(len(cb) - 2, tokens)
+            slope = (hi - lo) / (cb[-1] - cb[-2])
+            per_layer = hi + slope * (ctx - cb[-1])
+        else:
+            i = bisect_left(cb, ctx)
+            lo_c, hi_c = cb[i - 1], cb[i]
+            lo_t = self._row_at(i - 1, tokens)
+            hi_t = self._row_at(i, tokens)
+            frac = (ctx - lo_c) / (hi_c - lo_c)
+            per_layer = lo_t + frac * (hi_t - lo_t)
+        return per_layer * self.n_layers
+
+    def decode_segment(self, tokens: int, ctx: int
+                       ) -> tuple[Callable[[int], float], float]:
+        """The context cell containing ``ctx`` at this step size.
+
+        Returns ``(price, end)``: ``price(c)`` equals ``self(tokens, c)``
+        bit-for-bit for every ``c`` in the cell, and ``end`` is the
+        largest context the cell covers — past it the caller re-resolves.
+        Cells are cached per ``(tokens, segment)``, so a long decode run
+        prices each step through one closure call.
+
+        Segment ends are conservative about the branch boundaries of
+        ``__call__``: the last interior cell stops one token short of
+        the top context bucket (where the extrapolation branch takes
+        over), and the extrapolation cell keeps its own
+        ``hi + slope * (ctx - top)`` form — the interior affine
+        rearrangement would match only to rounding.
+        """
+        cb = self.ctx_buckets
+        if ctx <= cb[0]:
+            seg = 0
+        elif ctx >= cb[-1]:
+            seg = len(cb)
+        else:
+            seg = bisect_left(cb, ctx)
+        key = (tokens, seg)
+        cached = self._segments.get(key)
+        if cached is not None:
+            return cached
+        nl = self.n_layers
+        if seg == 0:
+            flat = self._row_at(0, tokens) * nl
+            cached = ((lambda c, _t=flat: _t), float(cb[0]))
+        elif seg == len(cb):
+            hi = self._row_at(len(cb) - 1, tokens)
+            lo = self._row_at(len(cb) - 2, tokens)
+            slope = (hi - lo) / (cb[-1] - cb[-2])
+            cached = ((lambda c, _h=hi, _s=slope, _c=cb[-1], _n=nl:
+                       (_h + _s * (c - _c)) * _n), float("inf"))
+        else:
+            lo_c, hi_c = cb[seg - 1], cb[seg]
+            lo_t = self._row_at(seg - 1, tokens)
+            hi_t = self._row_at(seg, tokens)
+            den = hi_c - lo_c
+            diff = hi_t - lo_t
+            end = float(hi_c if hi_c < cb[-1] else hi_c - 1)
+            cached = ((lambda c, _lt=lo_t, _lc=lo_c, _d=den, _df=diff,
+                       _n=nl: (_lt + ((c - _lc) / _d) * _df) * _n), end)
+        self._segments[key] = cached
+        return cached
+
+    def decode_coeffs(self, tokens: int, ctx: int) -> tuple:
+        """:meth:`decode_segment`'s cell as raw coefficients, so the
+        engine's tight loop can inline the pricing expression instead of
+        paying a closure call per decode step.  Returns one of
+
+        * ``(0, total, end)`` — flat cell: the price is ``total``;
+        * ``(1, lo_t, lo_c, den, diff, nl, end)`` — interior cell:
+          the price at context ``c`` is
+          ``(lo_t + ((c - lo_c) / den) * diff) * nl``;
+        * ``(2, hi, slope, top_c, nl, inf)`` — extrapolation cell:
+          ``(hi + slope * (c - top_c)) * nl``.
+
+        The expressions (and their operation order) are exactly the
+        closures :meth:`decode_segment` builds — inlining them yields
+        bit-identical floats.
+        """
+        cb = self.ctx_buckets
+        if ctx <= cb[0]:
+            seg = 0
+        elif ctx >= cb[-1]:
+            seg = len(cb)
+        else:
+            seg = bisect_left(cb, ctx)
+        key = (tokens, seg)
+        cached = self._coeffs.get(key)
+        if cached is not None:
+            return cached
+        nl = self.n_layers
+        if seg == 0:
+            cached = (0, self._row_at(0, tokens) * nl, float(cb[0]))
+        elif seg == len(cb):
+            hi = self._row_at(len(cb) - 1, tokens)
+            lo = self._row_at(len(cb) - 2, tokens)
+            slope = (hi - lo) / (cb[-1] - cb[-2])
+            cached = (2, hi, slope, cb[-1], nl, float("inf"))
+        else:
+            lo_c, hi_c = cb[seg - 1], cb[seg]
+            lo_t = self._row_at(seg - 1, tokens)
+            hi_t = self._row_at(seg, tokens)
+            end = float(hi_c if hi_c < cb[-1] else hi_c - 1)
+            cached = (1, lo_t, lo_c, hi_c - lo_c, hi_t - lo_t, nl, end)
+        self._coeffs[key] = cached
+        return cached
+
+
 class StepLatencyTable(VersionedJsonStore):
     """Persistent (model, method) -> bucketed per-layer-seconds store.
 
@@ -163,7 +330,8 @@ class StepLatencyTable(VersionedJsonStore):
                spec: HardwareSpec = H800,
                buckets: Iterable[int] = DEFAULT_BUCKETS, seed: int = 0,
                ctx_buckets: Iterable[int] = DEFAULT_CTX_BUCKETS,
-               progress: Callable[[str], None] | None = None) -> dict:
+               progress: Callable[[str], None] | None = None,
+               simulate: Callable[..., float] | None = None) -> dict:
         """Simulate (or reuse) this entry's bucket grid; returns it.
 
         An existing entry with the same token *and* context ladders is
@@ -171,8 +339,17 @@ class StepLatencyTable(VersionedJsonStore):
         axis is resimulated whole so an entry is always internally
         consistent.  On a ``readonly`` table the fresh entry lives only
         in memory.
+
+        ``simulate`` substitutes for :func:`repro.models.runner.layer_time`
+        (same call shape) — ``refresh_latency_table.py --workers N`` feeds
+        cell values precomputed by forked workers through it, so the
+        parent still builds the entry (and the JSON file) in exactly the
+        serial insertion order.
         """
         from repro.models.runner import layer_time
+
+        if simulate is None:
+            simulate = layer_time
 
         buckets = sorted(set(int(b) for b in buckets))
         if len(buckets) < 2 or buckets[0] < 8:
@@ -200,8 +377,8 @@ class StepLatencyTable(VersionedJsonStore):
                 variant = model.with_tokens(b)
                 if c > 0:
                     variant = variant.with_context(c)
-                row.append(layer_time(variant, method, world=world,
-                                      seed=seed, spec=spec))
+                row.append(simulate(variant, method, world=world,
+                                    seed=seed, spec=spec))
             grid.append(row)
         entry = {"buckets": buckets, "ctx_buckets": ctx_buckets,
                  "layer_s": grid,
@@ -215,14 +392,16 @@ class StepLatencyTable(VersionedJsonStore):
 
     def interpolator(self, model: ModelConfig, method: str, world: int = 8,
                      spec: HardwareSpec = H800,
-                     seed: int = 0) -> Callable[..., float]:
-        """A fast ``(tokens, ctx) -> step seconds`` closure for one entry.
+                     seed: int = 0) -> StepPricer:
+        """A fast ``(tokens, ctx) -> step seconds`` pricer for one entry.
 
         ``ctx`` is the batch's total resident KV tokens and defaults to
         0 (the prefill form).  The serving loop calls this millions of
-        times; resolving the entry once and closing over plain lists
-        keeps the per-step cost to two bisects and a handful of
-        multiplies.
+        times; resolving the entry once into a :class:`StepPricer` over
+        plain lists keeps the per-step cost to two memoised bisects and
+        a handful of multiplies — and gives the event-driven engine the
+        per-cell :meth:`StepPricer.decode_segment` closures it macro-
+        steps through.
         """
         key = entry_key(model, method, world, spec, seed)
         entry = self._load().get(key)
@@ -232,46 +411,11 @@ class StepLatencyTable(VersionedJsonStore):
                 f"(world={world}, seed={seed}) in {self.path}; build one "
                 f"with StepLatencyTable.ensure() or refresh the shipped "
                 f"table via benchmarks/refresh_latency_table.py")
-        buckets = [int(b) for b in entry["buckets"]]
-        ctx_buckets = [int(c) for c in entry["ctx_buckets"]]
-        grid = [[float(t) for t in row] for row in entry["layer_s"]]
-        n_layers = model.n_layers
-        from bisect import bisect_left
-
-        def row_at(layer_s: list[float], tokens: int) -> float:
-            if tokens <= buckets[0]:
-                # fixed launch/collective overheads dominate below the
-                # smallest bucket — charge its floor
-                return layer_s[0]
-            if tokens >= buckets[-1]:
-                # extrapolate on the last segment's per-token slope
-                slope = ((layer_s[-1] - layer_s[-2])
-                         / (buckets[-1] - buckets[-2]))
-                return layer_s[-1] + slope * (tokens - buckets[-1])
-            i = bisect_left(buckets, tokens)
-            lo_b, hi_b = buckets[i - 1], buckets[i]
-            lo_t, hi_t = layer_s[i - 1], layer_s[i]
-            frac = (tokens - lo_b) / (hi_b - lo_b)
-            return lo_t + frac * (hi_t - lo_t)
-
-        def step_seconds(tokens: int, ctx: int = 0) -> float:
-            if ctx <= ctx_buckets[0]:
-                per_layer = row_at(grid[0], tokens)
-            elif ctx >= ctx_buckets[-1]:
-                hi = row_at(grid[-1], tokens)
-                lo = row_at(grid[-2], tokens)
-                slope = (hi - lo) / (ctx_buckets[-1] - ctx_buckets[-2])
-                per_layer = hi + slope * (ctx - ctx_buckets[-1])
-            else:
-                i = bisect_left(ctx_buckets, ctx)
-                lo_c, hi_c = ctx_buckets[i - 1], ctx_buckets[i]
-                lo_t = row_at(grid[i - 1], tokens)
-                hi_t = row_at(grid[i], tokens)
-                frac = (ctx - lo_c) / (hi_c - lo_c)
-                per_layer = lo_t + frac * (hi_t - lo_t)
-            return per_layer * n_layers
-
-        return step_seconds
+        return StepPricer(
+            buckets=[int(b) for b in entry["buckets"]],
+            ctx_buckets=[int(c) for c in entry["ctx_buckets"]],
+            grid=[[float(t) for t in row] for row in entry["layer_s"]],
+            n_layers=model.n_layers)
 
     def step_time(self, model: ModelConfig, method: str, tokens: int,
                   world: int = 8, spec: HardwareSpec = H800,

@@ -12,6 +12,11 @@ preemption-stall percentiles, eviction and recompute-token totals, and
 pool-occupancy statistics (``None`` on both occupancy fields exactly
 when the run had no pool — the same null-together discipline as TPOT).
 
+Per-step series (queue depth, batch size, pool occupancy) arrive as
+:class:`~repro.serve.samples.StepStats` streaming accumulators rather
+than per-step lists; their ``percentile``/``max`` reproduce the list
+forms bit-for-bit, so every JSON summary field is unchanged.
+
 All percentiles use deterministic linear interpolation (no numpy, no
 randomness), and :meth:`ServingReport.row` emits strict-JSON-safe rows
 (``None``, never ``NaN``) for ``validate_bench_json.py --schema
@@ -142,9 +147,9 @@ def summarize(result: ServeResult, scenario: str, method: str,
         ttft_p50_s=percentile(ttfts, 50), ttft_p99_s=percentile(ttfts, 99),
         tpot_p50_s=percentile(tpots, 50) if tpots else None,
         tpot_p99_s=percentile(tpots, 99) if tpots else None,
-        queue_depth_p50=(percentile(result.queue_depth, 50)
+        queue_depth_p50=(result.queue_depth.percentile(50)
                          if result.queue_depth else 0.0),
-        queue_depth_max=(max(result.queue_depth)
+        queue_depth_max=(result.queue_depth.max
                          if result.queue_depth else 0),
         slo_attainment=met / len(logs),
         queue_wait_p50_s=percentile(waits, 50),
@@ -152,8 +157,8 @@ def summarize(result: ServeResult, scenario: str, method: str,
         preempt_stall_p99_s=percentile(stalls, 99),
         n_preemptions=result.n_preemptions,
         recompute_tokens=result.recompute_tokens,
-        pool_occupancy_p50=(percentile(occ, 50) if occ else None),
-        pool_occupancy_max=(max(occ) if occ else None),
+        pool_occupancy_p50=(occ.percentile(50) if occ else None),
+        pool_occupancy_max=(occ.max if occ else None),
     )
 
 

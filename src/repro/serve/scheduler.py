@@ -37,6 +37,13 @@ into genuinely free blocks, which bounds the thrash).  With ``kv=None``
 (or a pool that never fills) the loop is exactly the memory-oblivious
 engine.  The loop is purely deterministic — (workload, table, knobs)
 fixes every output bit.
+
+This module defines the serving data model (configs, logs, results) and
+keeps the original per-step loop as :func:`serve_reference` — the golden
+semantics.  :func:`serve` now delegates to the event-driven macro-step
+engine in :mod:`repro.serve.engine`, which produces bit-identical
+results ~10x faster; the reference loop stays as the executable spec the
+equivalence suite (``tests/test_serve_engine.py``) pins the engine to.
 """
 
 from __future__ import annotations
@@ -50,9 +57,11 @@ from repro.errors import ServeError
 from repro.models.configs import ModelConfig
 from repro.serve.kv import KVCacheConfig, KVCacheManager, VICTIM_POLICIES
 from repro.serve.latency import StepLatencyTable
+from repro.serve.samples import StepStats
 from repro.serve.workload import Request
 
-__all__ = ["ServerConfig", "RequestLog", "ServeResult", "serve"]
+__all__ = ["ServerConfig", "RequestLog", "ServeResult", "serve",
+           "serve_reference"]
 
 #: admission policies: waiting-queue priority key per request
 POLICIES: dict[str, Callable[[Request], tuple]] = {
@@ -99,6 +108,10 @@ class RequestLog:
     @property
     def ttft_s(self) -> float:
         """Time to first token (queueing + prefill)."""
+        if self.first_token_s is None:
+            raise ServeError(
+                f"request {self.request.rid} has no first token yet; "
+                f"ttft_s is defined only after a prefill step admitted it")
         return self.first_token_s - self.request.arrival_s
 
     @property
@@ -119,14 +132,15 @@ class ServeResult:
     makespan_s: float               # first arrival -> last completion
     n_prefill_steps: int = 0
     n_decode_steps: int = 0
-    #: waiting-queue depth sampled once per engine step
-    queue_depth: list[int] = field(default_factory=list)
+    #: waiting-queue depth sampled once per engine step (streaming
+    #: value-count accumulator — O(distinct) memory on million-step runs)
+    queue_depth: StepStats = field(default_factory=StepStats)
     #: running-batch size sampled once per engine step
-    batch_size: list[int] = field(default_factory=list)
+    batch_size: StepStats = field(default_factory=StepStats)
     #: KV-pool capacity in blocks (0 == no pool configured)
     pool_blocks: int = 0
     #: pool occupancy in [0, 1] sampled once per engine step (KV runs)
-    pool_occupancy: list[float] = field(default_factory=list)
+    pool_occupancy: StepStats = field(default_factory=StepStats)
     #: total evictions across the run
     n_preemptions: int = 0
     #: total re-prefilled resident tokens across the run
@@ -151,11 +165,42 @@ def serve(requests: Sequence[Request], model: ModelConfig, method: str,
           seed: int = 0, kv: KVCacheConfig | None = None) -> ServeResult:
     """Run the continuous-batching loop over ``requests``.
 
-    ``method`` selects whose kernels price each step (``"torch"`` /
-    ``"tilelink"`` / ``"tilelink-tuned"``), through ``table``'s
-    memoised step latencies — the run itself never simulates.  ``kv``
-    enables the paged KV-cache pool (admission gating + preemption);
-    ``None`` serves with infinite memory.
+    ``method`` selects whose kernels price each step — the base methods
+    (``"torch"`` / ``"tilelink"`` / ``"tilelink-tuned"``) plus any
+    registry-contributed serving method (e.g. the chunk-centric family's
+    ``"tilelink-chunk"``; see :func:`repro.registry.serve_method_names`)
+    — through ``table``'s memoised step latencies, so the run itself
+    never simulates.  Any method with a table entry works: the entry is
+    built by ``StepLatencyTable.ensure`` and the run only interpolates.
+    ``kv`` enables the paged KV-cache pool (admission gating +
+    preemption); ``None`` serves with infinite memory.
+
+    Since the event-driven core landed this is a thin wrapper over
+    :func:`repro.serve.engine.serve_events`, which macro-steps decode
+    between batch-composition events; its results are bit-identical to
+    :func:`serve_reference` (the preserved seed loop) on every field.
+    """
+    from repro.serve.engine import serve_events
+
+    return serve_events(requests, model, method, table, server=server,
+                        world=world, spec=spec, seed=seed, kv=kv)
+
+
+def serve_reference(requests: Sequence[Request], model: ModelConfig,
+                    method: str, table: StepLatencyTable,
+                    server: ServerConfig | None = None, world: int = 8,
+                    spec: HardwareSpec = H800, seed: int = 0,
+                    kv: KVCacheConfig | None = None) -> ServeResult:
+    """The original per-step serving loop, preserved as the golden
+    reference.
+
+    One plain Python iteration per engine step — easy to audit, slow at
+    fleet scale.  :func:`serve` routes to the event-driven engine
+    instead; this loop defines the semantics the engine must reproduce
+    bit-for-bit, and the golden-equivalence suite compares the two on
+    seeded workloads across {kv on/off} x {fcfs, spf} x {kv-aware,
+    naive}.  Accepts the same arguments (including registry-contributed
+    ``method`` names) as :func:`serve`.
     """
     server = server or ServerConfig()
     server.validate()

@@ -12,10 +12,11 @@ semantics by splitting the work in three:
 2. **resolve warm leaders in-parent** — a key already present in the
    shared cache is answered by a cache probe (zero simulations), so a
    warm rerun never spawns a process;
-3. **fan out cold leaders** — a ``ProcessPoolExecutor`` (``fork`` start
-   method) tunes each remaining group.  Every group writes to its *own*
-   cache file (atomic rename, written once when the group finishes), and
-   the parent folds the finished files into the shared cache through
+3. **fan out cold leaders** — :func:`repro.util.forkpool.fork_run`
+   (the fork-inheriting index pool this layer was extracted into) tunes
+   each remaining group.  Every group writes to its *own* cache file
+   (atomic rename, written once when the group finishes), and the
+   parent folds the finished files into the shared cache through
    :meth:`~repro.tuner.cache.TuneCache.merge_from` — the same
    flock-protected read-merge-rename path every other cache write takes.
    A worker that crashes mid-group therefore cannot corrupt the shared
@@ -25,9 +26,11 @@ semantics by splitting the work in three:
 
 :class:`~repro.tuner.search.TuneTask` carries closures (builder
 factories, analytic bounds) that cannot cross a pickle boundary, so the
-pool inherits the task table over ``fork()`` via module state and workers
-receive only a group index.  On platforms without ``fork`` the driver
-degrades to the serial loop — same report, no parallelism.
+pool inherits the task table over ``fork()`` and workers receive only a
+group index.  On platforms without ``fork`` the driver degrades to the
+serial loop — same report, no parallelism.  (The serial loop is kept
+here rather than delegated to the pool's own fallback because it tunes
+against the *shared* cache, not private per-group files.)
 
 The report is assembled in task order from per-key results, so entry
 order, dedup labels and ``n_simulated`` accounting are identical to the
@@ -39,35 +42,18 @@ cache that does not contain its key.
 
 from __future__ import annotations
 
-import multiprocessing
 import shutil
 import tempfile
-from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
-from typing import Any, Callable
+from typing import Callable
 
 from repro.config import H800, HardwareSpec
 from repro.tuner import cache as cache_mod
 from repro.tuner.model import DEFAULT_OPTIMISM, DEFAULT_PROBES
 from repro.tuner.search import TuneResult, TuneTask, task_cache_key, tune
 from repro.tuner.space import TunerError
-
-#: Worker state inherited over ``fork()``.  ``ProcessPoolExecutor``
-#: pickles submitted call arguments, and a ``TuneTask`` holds closures
-#: that cannot be pickled, so workers look their task up here by index.
-_WORK: dict[str, Any] | None = None
-
-
-def _tune_group(index: int) -> TuneResult:
-    """Pool worker: tune one cold key group against a private cache file."""
-    assert _WORK is not None, "worker state lost (fork start method required)"
-    task: TuneTask = _WORK["tasks"][index]
-    cache = None
-    if _WORK["cache_dir"] is not None:
-        cache = cache_mod.TuneCache(
-            Path(_WORK["cache_dir"]) / f"group{index}.json")
-    return tune(task, cache=cache, **_WORK["tune_kwargs"])
+from repro.util.forkpool import fork_available, fork_run
 
 
 def _merge_worker_caches(cache: cache_mod.TuneCache | None,
@@ -107,7 +93,6 @@ def parallel_sweep(named: list[tuple[str, TuneTask]], *, world: int = 8,
     process pool.  Called by :func:`repro.tuner.sweep.sweep` with the
     already-normalized ``(name, task)`` list; not meant to be invoked
     directly."""
-    global _WORK
     from repro.tuner.sweep import SweepEntry, SweepReport
 
     tune_kwargs = dict(world=world, spec=spec, strategy=strategy,
@@ -144,47 +129,39 @@ def parallel_sweep(named: list[tuple[str, TuneTask]], *, world: int = 8,
             cold.append((name, task, key))
 
     # -- cold leaders: fan out (or fall back to the serial loop) ----------
-    if cold and ("fork" not in multiprocessing.get_all_start_methods()
-                 or workers <= 1 or len(cold) == 1):
+    if cold and (not fork_available() or workers <= 1 or len(cold) == 1):
         for name, task, key in cold:
             results[key] = tune(task, cache=cache, **tune_kwargs)
     elif cold:
         cache_dir = (tempfile.mkdtemp(prefix="repro-sweep-workers-")
                      if cache is not None else None)
-        _WORK = {"tasks": [task for _, task, _ in cold],
-                 "tune_kwargs": tune_kwargs, "cache_dir": cache_dir}
-        failures: list[tuple[str, BaseException]] = []
+        cold_tasks = [task for _, task, _ in cold]
+
+        def tune_group(index: int) -> TuneResult:
+            """Tune one cold key group against a private cache file
+            (inherited over ``fork()``; only ``index`` crosses)."""
+            group_cache = None
+            if cache_dir is not None:
+                group_cache = cache_mod.TuneCache(
+                    Path(cache_dir) / f"group{index}.json")
+            return tune(cold_tasks[index], cache=group_cache, **tune_kwargs)
+
         try:
-            with ProcessPoolExecutor(
-                    max_workers=min(workers, len(cold)),
-                    mp_context=multiprocessing.get_context("fork")) as pool:
-                futures = {pool.submit(_tune_group, i): cold[i]
-                           for i in range(len(cold))}
-                done, pending = wait(futures, return_when=FIRST_EXCEPTION)
-                if any(f.exception() is not None for f in done):
-                    # fail fast: don't let shutdown() tune the remaining
-                    # groups to completion just to discard their results
-                    for fut in pending:
-                        fut.cancel()
-                for fut, (name, _, key) in futures.items():
-                    if fut.cancelled() or not fut.done():
-                        continue
-                    exc = fut.exception()
-                    if exc is not None:
-                        failures.append((name, exc))
-                    else:
-                        results[key] = fut.result()
+            group_results, group_failures = fork_run(
+                tune_group, len(cold), workers)
         finally:
-            _WORK = None
             try:
                 _merge_worker_caches(cache, cache_dir)
             finally:
                 if cache_dir is not None:
                     shutil.rmtree(cache_dir, ignore_errors=True)
-        if failures:
+        for i, result in group_results.items():
+            results[cold[i][2]] = result
+        if group_failures:
             # a dead worker fails *every* unfinished future with
             # BrokenProcessPool, so prefer a real exception (the root
             # cause) for the re-raise; name no specific task otherwise
+            failures = [(cold[i][0], exc) for i, exc in group_failures]
             for name, exc in failures:
                 if not isinstance(exc, BrokenProcessPool):
                     raise exc

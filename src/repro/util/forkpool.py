@@ -1,0 +1,114 @@
+"""Fork-inheriting process pool for index-addressed work lists.
+
+Three parallel consumers in this repo share one awkward constraint: the
+work items are rich Python objects that cannot cross a pickle boundary
+(tuner tasks carry builder closures, latency-cell jobs carry
+:class:`~repro.models.configs.ModelConfig` variants bound into local
+functions), but the work *list* is indexable and the pool can inherit it
+over ``fork()``.  This module is that pattern, extracted from the
+tuner's sweep pool so ``refresh_latency_table.py --workers`` and the
+serving bench can reuse it:
+
+* the caller builds ``fn`` — any callable, closures welcome — in the
+  parent and calls :func:`fork_run` / :func:`fork_map` with a job count;
+* workers inherit ``fn`` through module state over ``fork()`` and
+  receive only an integer index (the one thing pickled per job);
+* failure handling is fail-fast with full attribution: on the first
+  exception the remaining jobs are cancelled, and the caller gets every
+  failure paired with its job index — with :class:`BrokenProcessPool`
+  noise (a dead worker fails *every* unfinished future with it)
+  separated from root causes.
+
+Platforms without the ``fork`` start method (or ``workers <= 1``, or a
+single job) degrade to running the jobs serially in-process — same
+results, exceptions propagate directly.
+
+Determinism note: the pool changes *where* jobs run, never what they
+compute.  A caller that needs byte-identical artifacts (the latency-table
+refresh, the tuner cache) must itself consume results in job order —
+``fork_map`` returns them index-ordered for exactly that.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable
+
+__all__ = ["fork_available", "fork_map", "fork_run"]
+
+#: Worker state inherited over ``fork()``: the job callable of the
+#: currently running :func:`fork_run`.  Submitted call arguments are
+#: pickled by ``ProcessPoolExecutor``, so workers look the callable up
+#: here and take only the job index over the pipe.
+_FN: Callable[[int], Any] | None = None
+
+
+def _invoke(index: int) -> Any:
+    """Pool worker: run one inherited job by index."""
+    assert _FN is not None, "worker state lost (fork start method required)"
+    return _FN(index)
+
+
+def fork_available() -> bool:
+    """Whether this platform can fan out over ``fork()`` at all."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def fork_run(fn: Callable[[int], Any], n: int, workers: int
+             ) -> tuple[dict[int, Any], list[tuple[int, BaseException]]]:
+    """Run ``fn(0) .. fn(n-1)`` across ``workers`` forked processes.
+
+    Returns ``(results, failures)``: ``results`` maps job index to
+    return value for every job that finished, ``failures`` pairs each
+    failed job's index with its exception.  On the first failure the
+    remaining jobs are cancelled (fail fast) — cancelled jobs appear in
+    neither mapping.  Serially executed jobs (no ``fork``, one worker,
+    or one job) raise directly instead, having completed every earlier
+    job.
+    """
+    if n <= 0:
+        return {}, []
+    if not fork_available() or workers <= 1 or n == 1:
+        return {i: fn(i) for i in range(n)}, []
+    global _FN
+    _FN = fn
+    results: dict[int, Any] = {}
+    failures: list[tuple[int, BaseException]] = []
+    try:
+        with ProcessPoolExecutor(
+                max_workers=min(workers, n),
+                mp_context=multiprocessing.get_context("fork")) as pool:
+            futures = {pool.submit(_invoke, i): i for i in range(n)}
+            done, pending = wait(futures, return_when=FIRST_EXCEPTION)
+            if any(f.exception() is not None for f in done):
+                # don't let shutdown() run the remaining jobs to
+                # completion just to discard their results
+                for fut in pending:
+                    fut.cancel()
+            for fut, i in futures.items():
+                if fut.cancelled() or not fut.done():
+                    continue
+                exc = fut.exception()
+                if exc is not None:
+                    failures.append((i, exc))
+                else:
+                    results[i] = fut.result()
+    finally:
+        _FN = None
+    failures.sort(key=lambda pair: pair[0])
+    return results, failures
+
+
+def fork_map(fn: Callable[[int], Any], n: int, workers: int) -> list[Any]:
+    """:func:`fork_run`, raising on any failure; returns results in job
+    order.  Prefers a root-cause exception over the
+    :class:`BrokenProcessPool` echoes a dead worker leaves behind."""
+    results, failures = fork_run(fn, n, workers)
+    if failures:
+        for _, exc in failures:
+            if not isinstance(exc, BrokenProcessPool):
+                raise exc
+        raise failures[0][1]
+    return [results[i] for i in range(n)]

@@ -184,7 +184,7 @@ def test_huge_pool_is_identical_to_no_pool():
         (kv.n_prefill_steps, kv.n_decode_steps, kv.makespan_s)
     assert kv.n_preemptions == 0 and kv.recompute_tokens == 0
     assert base.pool_blocks == 0 and kv.pool_blocks == 100_000
-    assert base.pool_occupancy == [] and len(kv.pool_occupancy) > 0
+    assert len(base.pool_occupancy) == 0 and len(kv.pool_occupancy) > 0
 
 
 def test_pressure_forces_preemption_and_everyone_still_finishes():

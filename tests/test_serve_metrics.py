@@ -16,6 +16,7 @@ from repro.serve.metrics import (
     percentile,
     summarize,
 )
+from repro.serve.samples import StepStats
 from repro.serve.scheduler import RequestLog, ServeResult
 from repro.serve.workload import Request
 
@@ -30,7 +31,7 @@ def _result(specs):
             first_token_s=first, finish_s=fin))
     makespan = max(s[2] for s in specs) - min(s[0] for s in specs)
     return ServeResult(logs=logs, makespan_s=makespan,
-                       queue_depth=[0, 2, 1])
+                       queue_depth=StepStats.of([0, 2, 1]))
 
 
 def test_percentile_interpolates_linearly():

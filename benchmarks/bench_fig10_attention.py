@@ -8,9 +8,18 @@ When the shipped warm cache (``benchmarks/warm_cache.json``) resolves,
 ``attention_builders`` grows a TileLink-tuned column by default — the
 Figure-10 winners run straight from the cache with zero simulation at
 bench time, exactly like the Figure-8/9 tables.
+
+``REPRO_FIG10_TRACE=PATH`` additionally re-runs each shape's TileLink
+kernel (first sequence length) with machine tracing on and exports the
+per-rank timeline as Chrome trace-event JSON via :mod:`repro.obs` —
+one file per shape (``PATH`` suffixed with the shape name) that makes
+the overlap ratio *visible* in ui.perfetto.dev.
 """
 
 from __future__ import annotations
+
+import os
+from pathlib import Path
 
 from benchmarks.common import FAST, print_relative_table, run_once
 from repro.bench.experiments import (
@@ -60,6 +69,24 @@ def _check(shape, benchmark) -> None:
     if "TileLink-tuned" in times:
         for i in range(len(labels)):
             assert times["TileLink-tuned"][i] <= times["TileLink"][i] * 1.001
+
+    trace_path = os.environ.get("REPRO_FIG10_TRACE")
+    if trace_path:
+        # re-run the TileLink kernel traced and export the per-rank
+        # timeline through the one shared exporter (repro.obs), one
+        # file per shape
+        from repro.bench.harness import run_builder_traced
+        from repro.obs import sim_recording, write_trace
+
+        seq = shape.seq_lens[0]
+        total, ctx = run_builder_traced(
+            attention_builders(shape, seq)["TileLink"])
+        p = Path(trace_path)
+        out = p.with_name(f"{p.stem}-{shape.name}{p.suffix}")
+        write_trace(out, sim_recording(ctx.machine.trace, meta={
+            "kernel": "attention", "shape": shape.name,
+            "seq_len": seq, "total_s": total}))
+        print(f"fig10 {shape.name} perfetto trace -> {out}")
 
 
 def test_fig10_attn1(benchmark) -> None:

@@ -109,3 +109,73 @@ def test_serving_engine_throughput_floor(benchmark) -> None:
     assert sim_rps >= cfg["min_sim_rps"], (
         f"serving engine regressed: {sim_rps:,.0f} simulated req/s is "
         f"below the {cfg['min_sim_rps']:,.0f} floor in {CONFIG_PATH.name}")
+
+
+def test_serving_engine_recorder_overhead(benchmark) -> None:
+    """An attached recorder must change nothing and cost almost nothing.
+
+    The observability contract (:mod:`repro.obs`) on the acceptance
+    workload: the recorder-on run is *bit-identical* to the plain run
+    (recording is read-only tuple appends — any divergence means a hook
+    perturbed the simulation), and its wall time stays within 15% of the
+    plain run's — judged on the cleanest of three back-to-back
+    plain/recorded pairs, so a loaded runner cannot flip the ratio.
+    """
+    from repro.obs import Recorder, phase_attribution
+
+    cfg = _config()
+    model = {m.name: m for m in E2E_MODELS}[cfg["model"]]
+    method = cfg["method"]
+    # a tenth of the floor workload: plenty of events (~10 per request)
+    # to price the hooks, small enough to run twice per variant
+    n = cfg["n_requests"] // 100 if FAST else cfg["n_requests"] // 10
+    table = _table(model, method)
+    reqs = generate_requests(cfg["scenario"], n, seed=SEED)
+    server = ServerConfig(max_batch=cfg["max_batch"])
+    kv = KVCacheConfig(block_tokens=cfg["block_tokens"],
+                       pool_blocks=cfg["pool_blocks"])
+
+    def run(recorder=None):
+        t0 = time.perf_counter()
+        res = serve(reqs, model, method, table, server,
+                    world=WORLD, seed=SEED, kv=kv, recorder=recorder)
+        return res, time.perf_counter() - t0
+
+    def race():
+        # back-to-back (plain, recorded) pairs: a loaded-runner window
+        # inflates both halves of a pair, so the best per-pair ratio
+        # isolates the hooks' cost from machine noise — only a
+        # structural regression inflates every pair
+        ratios = []
+        plain = recorded = recorder = None
+        for _ in range(3):
+            plain, w_plain = run()
+            recorder = Recorder()
+            recorded, w_rec = run(recorder)
+            ratios.append((w_rec / w_plain, w_plain, w_rec))
+        return plain, recorded, recorder, ratios
+
+    plain, recorded, recorder, ratios = run_once(benchmark, race)
+
+    # identity: every log field and every streaming series matches
+    assert recorded == plain
+    assert [(log.first_token_s, log.finish_s, log.n_preemptions)
+            for log in recorded.logs] == \
+        [(log.first_token_s, log.finish_s, log.n_preemptions)
+         for log in plain.logs]
+
+    # the recording is real: full lifecycle coverage, not a stub
+    attr = phase_attribution(recorder.recording())
+    assert attr["coverage"] >= 0.99
+    assert attr["counts"]["finished"] == n
+
+    _, w_plain, w_rec = min(ratios)
+    overhead = w_rec / w_plain - 1.0
+    print(f"\nRecorder overhead — {n} requests: plain {w_plain:.3f}s, "
+          f"recorded {w_rec:.3f}s ({overhead:+.1%}, "
+          f"{len(recorder.events)} events)")
+    emit_json("Serving perf", "recorder/overhead", max(0.0, overhead))
+    # 15% budget with a small absolute epsilon so a sub-100ms baseline
+    # doesn't turn timer noise into a flake
+    assert w_rec <= w_plain * 1.15 + 0.05, (
+        f"recorder overhead {overhead:+.1%} exceeds the 15% budget")

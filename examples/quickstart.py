@@ -84,6 +84,11 @@ def main() -> None:
     print("Every shipped kernel is statically verified for deadlocks and "
           "races:\n  python -m repro.analyze --all --strict   "
           "(walkthrough: examples/analyze_kernel.py)")
+    print("And every run can explain where its time went:\n"
+          "  python -m repro.obs record --out run.json && "
+          "python -m repro.obs summarize run.json\n"
+          "  (request timelines, metrics, Perfetto export — "
+          "walkthrough: examples/observability.py)")
 
 
 if __name__ == "__main__":

@@ -83,6 +83,15 @@ class ServeError(TileLinkError):
     latency-table entry, invalid trace, ...)."""
 
 
+class ObsError(TileLinkError):
+    """The observability layer was misused (recorder reuse, malformed
+    recording file, metric type conflict, unknown export kind, ...).
+
+    Raised by :mod:`repro.obs` — the recorder/metrics/export subsystem —
+    never by the serving hot path itself: with the recorder disabled the
+    engine cannot reach any code that raises this."""
+
+
 class RegistryError(TileLinkError):
     """A kernel-family registration is incomplete, duplicated, or unknown.
 

@@ -1,0 +1,205 @@
+"""Chrome trace-event (Perfetto-loadable) JSON export.
+
+One exporter for every timeline the repo produces — this is where the
+Figure-10 overlap story becomes *visible* instead of a ratio:
+
+* ``kind="serve"`` — the engine track (prefill/decode step slices and
+  idle gaps on one process), a ``kv_pool_used`` counter track with
+  watermark-crossing instants, and one thread per request whose slices
+  are the :data:`repro.obs.summary.PHASES` segments;
+* ``kind="sim"`` — :class:`repro.sim.trace.TraceInterval` records laid
+  out one process per rank, one thread per category
+  (compute/comm/host/...), so loading the file in ui.perfetto.dev shows
+  communication sliding under computation;
+* ``kind="spans"`` — the tuner's wall-time spans, one thread per
+  category (simulate/prune/cache/...).
+
+Timestamps are normalised to the recording's origin and emitted in
+microseconds (the trace-event unit).  Output is strict JSON, metadata
+events first, then every slice in non-decreasing ``ts`` order — the
+shape ``validate_bench_json.py --schema obs-trace`` pins in CI.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import ObsError
+from repro.obs.events import Recorder, Recording
+from repro.obs.summary import clock_bounds, request_timelines
+
+__all__ = ["save_sim_recording", "sim_recording", "to_perfetto",
+           "write_trace"]
+
+#: Engine-track slice names (cat "engine") the validator accepts.
+ENGINE_NAMES = ("prefill", "decode", "idle")
+
+
+def _as_recording(rec) -> Recording:
+    if isinstance(rec, Recording):
+        return rec
+    if isinstance(rec, Recorder):
+        return rec.recording()
+    raise ObsError(f"expected a Recording or Recorder, "
+                   f"got {type(rec).__name__}")
+
+
+def sim_recording(trace, meta: dict | None = None) -> Recording:
+    """Adapt a :class:`repro.sim.trace.Trace` (or an interval iterable)
+    into a ``kind="sim"`` recording."""
+    intervals = getattr(trace, "intervals", trace)
+    rows = []
+    for iv in intervals:
+        if isinstance(iv, (list, tuple)):
+            rank, category, label, start, end = iv
+        else:
+            rank, category, label = iv.rank, iv.category, iv.label
+            start, end = iv.start, iv.end
+        rows.append((rank, category, label, start, end))
+    if not rows:
+        raise ObsError("sim recording needs at least one trace interval; "
+                       "was the simulation run with trace=True?")
+    return Recording(kind="sim", meta=dict(meta or {}), intervals=rows)
+
+
+def save_sim_recording(path, trace, meta: dict | None = None) -> None:
+    """Persist a kernel-sim trace as a ``repro-obs/1`` recording."""
+    from repro.obs.events import save_recording
+
+    rec = sim_recording(trace, meta)
+    save_recording(path, kind="sim", meta=rec.meta, intervals=rec.intervals)
+
+
+def _finish(meta_events: list[dict], slices: list[dict]) -> dict:
+    slices.sort(key=lambda e: e["ts"])
+    return {"traceEvents": meta_events + slices, "displayTimeUnit": "ms"}
+
+
+def _serve_trace(rec: Recording, max_request_tracks: int | None) -> dict:
+    t0, _ = clock_bounds(rec)
+
+    def us(t: float) -> float:
+        return (t - t0) * 1e6
+
+    meta_events = [
+        {"ph": "M", "pid": 1, "tid": 0, "ts": 0, "name": "process_name",
+         "args": {"name": "serving engine"}},
+        {"ph": "M", "pid": 1, "tid": 0, "ts": 0, "name": "thread_name",
+         "args": {"name": "steps"}},
+        {"ph": "M", "pid": 1, "tid": 1, "ts": 0, "name": "thread_name",
+         "args": {"name": "idle"}},
+        {"ph": "M", "pid": 2, "tid": 0, "ts": 0, "name": "process_name",
+         "args": {"name": "requests"}},
+    ]
+    slices: list[dict] = []
+    with_pool = bool(rec.meta.get("pool_blocks"))
+    for event in rec.events:
+        kind = event[0]
+        if kind in ("prefill", "decode"):
+            slices.append({"ph": "X", "pid": 1, "tid": 0, "name": kind,
+                           "cat": "engine", "ts": us(event[1]),
+                           "dur": max(0.0, us(event[2]) - us(event[1]))})
+            if with_pool:
+                # each step event carries the closing pool level
+                slices.append({"ph": "C", "pid": 1, "name": "kv_pool_used",
+                               "ts": us(event[2]),
+                               "args": {"blocks": event[-1]}})
+        elif kind == "idle":
+            slices.append({"ph": "X", "pid": 1, "tid": 1, "name": "idle",
+                           "cat": "engine", "ts": us(event[1]),
+                           "dur": max(0.0, us(event[2]) - us(event[1]))})
+        elif kind == "watermark":
+            name = ("watermark_above" if event[2] else "watermark_below")
+            slices.append({"ph": "i", "pid": 1, "tid": 0, "name": name,
+                           "cat": "engine", "ts": us(event[1]), "s": "p",
+                           "args": {"used_blocks": event[3]}})
+
+    reqs = list(request_timelines(rec).values())
+    if max_request_tracks is not None and len(reqs) > max_request_tracks:
+        # keep the interesting tracks: the slowest end-to-end requests
+        _, t_end = clock_bounds(rec)
+        reqs.sort(key=lambda r: (
+            -((r["finish"] if r["finish"] is not None else t_end)
+              - r["arrival"]), r["rid"]))
+        reqs = reqs[:max_request_tracks]
+    for r in sorted(reqs, key=lambda r: r["rid"]):
+        rid = r["rid"]
+        meta_events.append(
+            {"ph": "M", "pid": 2, "tid": rid, "ts": 0,
+             "name": "thread_name", "args": {"name": f"req {rid}"}})
+        for phase, s, e in r["segments"]:
+            slices.append({"ph": "X", "pid": 2, "tid": rid, "name": phase,
+                           "cat": "phase", "ts": us(s),
+                           "dur": max(0.0, us(e) - us(s))})
+    return _finish(meta_events, slices)
+
+
+def _sim_trace(rec: Recording) -> dict:
+    t0, _ = clock_bounds(rec)
+    ranks = sorted({iv[0] for iv in rec.intervals})
+    categories = sorted({iv[1] for iv in rec.intervals})
+    tid_of = {c: i for i, c in enumerate(categories)}
+    meta_events = []
+    for rank in ranks:
+        meta_events.append(
+            {"ph": "M", "pid": rank + 1, "tid": 0, "ts": 0,
+             "name": "process_name", "args": {"name": f"rank {rank}"}})
+        for category in categories:
+            meta_events.append(
+                {"ph": "M", "pid": rank + 1, "tid": tid_of[category],
+                 "ts": 0, "name": "thread_name",
+                 "args": {"name": category}})
+    slices = []
+    for rank, category, label, start, end in rec.intervals:
+        slices.append({"ph": "X", "pid": rank + 1, "tid": tid_of[category],
+                       "name": label, "cat": category,
+                       "ts": (start - t0) * 1e6,
+                       "dur": max(0.0, (end - start) * 1e6)})
+    return _finish(meta_events, slices)
+
+
+def _span_trace(rec: Recording) -> dict:
+    spans = [e for e in rec.events if e[0] == "span"]
+    if not spans:
+        raise ObsError("spans recording holds no span events; nothing "
+                       "to export")
+    t0 = min(e[1] for e in spans)
+    categories = sorted({e[3] for e in spans})
+    tid_of = {c: i for i, c in enumerate(categories)}
+    meta_events = [{"ph": "M", "pid": 1, "tid": 0, "ts": 0,
+                    "name": "process_name", "args": {"name": "tuner"}}]
+    for category in categories:
+        meta_events.append({"ph": "M", "pid": 1, "tid": tid_of[category],
+                            "ts": 0, "name": "thread_name",
+                            "args": {"name": category}})
+    slices = []
+    for _, s, e, category, label in spans:
+        slices.append({"ph": "X", "pid": 1, "tid": tid_of[category],
+                       "name": label, "cat": category,
+                       "ts": (s - t0) * 1e6,
+                       "dur": max(0.0, (e - s) * 1e6)})
+    return _finish(meta_events, slices)
+
+
+def to_perfetto(rec, *, max_request_tracks: int | None = None) -> dict:
+    """The Chrome trace-event payload for one recording (or a live
+    :class:`Recorder`).  ``max_request_tracks`` caps the per-request
+    thread count of a serving trace, keeping the slowest requests."""
+    rec = _as_recording(rec)
+    if rec.kind == "serve":
+        return _serve_trace(rec, max_request_tracks)
+    if rec.kind == "sim":
+        if not rec.intervals:
+            raise ObsError("sim recording holds no intervals; nothing "
+                           "to export")
+        return _sim_trace(rec)
+    if rec.kind == "spans":
+        return _span_trace(rec)
+    raise ObsError(f"cannot export recording kind {rec.kind!r}")
+
+
+def write_trace(path, rec, *, max_request_tracks: int | None = None) -> None:
+    """Write the Perfetto JSON for ``rec`` to ``path`` (strict JSON)."""
+    payload = to_perfetto(rec, max_request_tracks=max_request_tracks)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True, allow_nan=False)

@@ -1,0 +1,162 @@
+"""Counter/gauge/histogram registry with labelled series.
+
+The registry is the aggregation half of the observability layer: the
+event log (:mod:`repro.obs.events`) says *what happened when*, the
+registry folds it into *how much and how fast*.  Histograms reuse
+:class:`repro.serve.samples.StepStats` — the serving engine's
+O(distinct-values) order-statistics multiset — so folding a
+million-step run's series in costs one dict merge, not a million
+observations, and the percentiles stay bit-identical to
+:func:`repro.serve.metrics.percentile`.
+
+``snapshot()`` emits the strict-JSON form
+``{"format": "repro-obs-metrics/1", "metrics": [...]}`` validated by
+``benchmarks/validate_bench_json.py --schema obs-metrics``: no bare
+NaN/Infinity ever, and a histogram's quantile fields are null *together*
+exactly when the series is empty (the same null-together discipline the
+serving report rows follow).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ObsError, ServeError
+from repro.serve.samples import StepStats
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "METRICS_FORMAT"]
+
+#: Format tag of the ``snapshot()`` payload.
+METRICS_FORMAT = "repro-obs-metrics/1"
+
+
+class Counter:
+    """A monotone event count."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ObsError(f"counter increments must be >= 0, got {n}")
+        self.value += n
+
+    def _snapshot(self) -> dict:
+        return {"value": int(self.value)}
+
+
+class Gauge:
+    """A last-written instantaneous value (``None`` until first set)."""
+
+    __slots__ = ("value",)
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value: float | None = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def _snapshot(self) -> dict:
+        return {"value": self.value}
+
+
+class Histogram:
+    """An order-statistics series over observed values.
+
+    Backed by a :class:`StepStats` multiset: ``observe`` is O(1),
+    ``merge_counts`` adopts a whole finished series (e.g. a
+    ``ServeResult`` per-step series via ``StepStats.counts()``) in one
+    dict fold.
+    """
+
+    __slots__ = ("stats",)
+    kind = "histogram"
+
+    def __init__(self) -> None:
+        self.stats = StepStats()
+
+    def observe(self, value: float) -> None:
+        self.stats.append(value)
+
+    def observe_repeat(self, value: float, count: int) -> None:
+        self.stats.add_repeat(value, count)
+
+    def merge_counts(self, counts: dict) -> None:
+        """Fold a ``value -> occurrences`` multiset in."""
+        for value, count in counts.items():
+            self.stats.add_repeat(value, count)
+
+    def _snapshot(self) -> dict:
+        n = len(self.stats)
+        if n == 0:
+            # null-together: an empty series has no order statistics
+            return {"count": 0, "max": None, "p50": None, "p90": None,
+                    "p99": None}
+        try:
+            return {
+                "count": n,
+                "max": float(self.stats.max),
+                "p50": self.stats.percentile(50),
+                "p90": self.stats.percentile(90),
+                "p99": self.stats.percentile(99),
+            }
+        except ServeError as exc:     # pragma: no cover - guarded by n
+            raise ObsError(f"histogram snapshot failed: {exc}") from exc
+
+
+#: metric type name -> class (the registry's get-or-create table)
+_TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Get-or-create registry of labelled metric series.
+
+    ``registry.counter("requests", scenario="chat")`` returns the one
+    :class:`Counter` for that (name, labels) pair, creating it on first
+    use; asking for the same pair under a different metric type raises
+    :class:`ObsError` (a silent type change would corrupt every
+    consumer of the snapshot).
+    """
+
+    def __init__(self) -> None:
+        self._series: dict[tuple, object] = {}
+
+    def _get(self, type_name: str, name: str, labels: dict):
+        if not name:
+            raise ObsError("metric name must be a non-empty string")
+        key = (name, tuple(sorted(labels.items())))
+        metric = self._series.get(key)
+        if metric is None:
+            metric = self._series[key] = _TYPES[type_name]()
+        elif metric.kind != type_name:
+            raise ObsError(
+                f"metric {name!r} with labels {labels!r} is already "
+                f"registered as a {metric.kind}, not a {type_name}")
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get("counter", name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get("gauge", name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._get("histogram", name, labels)
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def snapshot(self) -> dict:
+        """The strict-JSON ``repro-obs-metrics/1`` payload, sorted by
+        (name, labels) so reruns diff cleanly."""
+        metrics = []
+        for (name, labels) in sorted(self._series):
+            metric = self._series[(name, labels)]
+            row = {"name": name, "type": metric.kind,
+                   "labels": dict(labels)}
+            row.update(metric._snapshot())
+            metrics.append(row)
+        return {"format": METRICS_FORMAT, "metrics": metrics}

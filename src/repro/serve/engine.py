@@ -99,16 +99,35 @@ def serve_events(requests: Sequence[Request], model: ModelConfig,
                  method: str, table: StepLatencyTable,
                  server: ServerConfig | None = None, world: int = 8,
                  spec: HardwareSpec = H800, seed: int = 0,
-                 kv: KVCacheConfig | None = None) -> ServeResult:
+                 kv: KVCacheConfig | None = None,
+                 recorder=None) -> ServeResult:
     """Serve ``requests`` through the event-driven core.
 
     Same contract as :func:`repro.serve.scheduler.serve` (which wraps
     this), same bits as :func:`~repro.serve.scheduler.serve_reference`.
+
+    ``recorder`` (an enabled :class:`repro.obs.Recorder`, duck-typed:
+    ``.enabled`` plus an ``events`` list) captures the full request
+    lifecycle in simulated-clock time — arrivals, idle gaps, prefill
+    steps, per-request admissions, decode macro-steps, preemptions,
+    finishes, and (with a pool) per-step used-block levels and
+    watermark crossings.  Recording is strictly read-only: it appends
+    event
+    tuples and touches no simulation state, so results are
+    bit-identical with the recorder on, off, or ``None`` — and with it
+    ``None`` (the default) every hook is a single predictable branch.
+    This module deliberately never imports :mod:`repro.obs`.
     """
     server = server or ServerConfig()
     server.validate()
     if not requests:
         raise ServeError("serve() needs at least one request")
+    recording = recorder is not None and recorder.enabled
+    if recording and recorder.events:
+        raise ServeError(
+            "recorder already holds events; serve() needs a fresh "
+            "Recorder per run (mixing two runs' clocks would corrupt "
+            "every downstream timeline)")
     pricer = table.interpolator(model, method, world=world, spec=spec,
                                 seed=seed)
     coeffs_of = getattr(pricer, "decode_coeffs", None)
@@ -176,6 +195,23 @@ def serve_events(requests: Sequence[Request], model: ModelConfig,
         pm: list[dict] = [{} for _ in range(bt)]
         cnt = [0] * bt
 
+    if recording:
+        ev = recorder.events.append
+        recorder.meta.update(
+            kind="serve", model=model.name, method=method, world=world,
+            policy=server.policy, n_requests=n_order,
+            pool_blocks=cap if with_pool else 0)
+        # arrivals are known up front: bulk-record them (future
+        # timestamps included — consumers sort by ts)
+        recorder.events.extend(
+            ("arrival", r.arrival_s, r.rid, r.prompt_tokens,
+             r.output_tokens) for r in order)
+        if with_pool:
+            wm_lvl = cap - wm       # used-block level of the watermark
+            wm_above = False
+        else:
+            pool_used = 0           # recorded as-is on prefill/decode
+
     def admit_entry(r: Request, emitted: int, resident: int) -> None:
         nonlocal sum_resb
         col_req.append(r)
@@ -233,6 +269,8 @@ def serve_events(requests: Sequence[Request], model: ModelConfig,
         logs[rid].n_preemptions += 1
         n_preempt += 1
         heapq.heappush(waiting, (prio(req), req))
+        if recording:
+            ev(("preempt", clock, rid))
         return True
 
     def slow_decode_step() -> None:
@@ -240,8 +278,10 @@ def serve_events(requests: Sequence[Request], model: ModelConfig,
         loop — the macro path falls back here when the next step's
         block growth exceeds the free count."""
         nonlocal clock, n_decode, peak_resident, pool_used
-        nonlocal bs_last, occ_last
+        nonlocal bs_last, occ_last, wm_above
         D = n_decode
+        if recording:
+            t0 = clock
         while True:
             n = len(col_rid)
             need = 0
@@ -276,9 +316,16 @@ def serve_events(requests: Sequence[Request], model: ModelConfig,
                 logs[rid].finish_s = clock
                 pool_used -= held.pop(rid)
                 drop_entry(i)
+                if recording:
+                    ev(("finish", clock, rid))
         occ = pool_used / cap
         occ_counts[occ] = occ_counts.get(occ, 0) + 1
         occ_last = occ
+        if recording:
+            ev(("decode", t0, clock, 1, n, pool_used))
+            if wm_above != (pool_used > wm_lvl):
+                wm_above = not wm_above
+                ev(("watermark", clock, 1 if wm_above else 0, pool_used))
 
     while next_arrival < n_order or waiting or col_rid:
         # deliver arrivals up to the current clock
@@ -289,6 +336,8 @@ def serve_events(requests: Sequence[Request], model: ModelConfig,
             next_arr_t = (arr_times[next_arrival]
                           if next_arrival < n_order else inf)
         if not waiting and not col_rid:
+            if recording:
+                ev(("idle", clock, next_arr_t))
             clock = next_arr_t                  # idle: jump to work
             continue
         depth = len(waiting)
@@ -372,13 +421,19 @@ def serve_events(requests: Sequence[Request], model: ModelConfig,
                     recompute += resident
                     log.preempt_stall_s += clock - evicted_at.pop(r.rid)
                     admit_entry(r, emitted, resident)
+                    if recording:
+                        ev(("admit", step_start, clock, r.rid, 0, resident))
                 else:
                     log.queue_wait_s = step_start - r.arrival_s
                     log.first_token_s = clock
+                    if recording:
+                        ev(("admit", step_start, clock, r.rid, 1, resident))
                     if r.output_tokens <= 1:
                         log.finish_s = clock
                         if with_pool:
                             pool_used -= held.pop(r.rid)
+                        if recording:
+                            ev(("finish", clock, r.rid))
                     else:
                         admit_entry(r, 1, resident)
                 admit_seq += 1
@@ -386,10 +441,22 @@ def serve_events(requests: Sequence[Request], model: ModelConfig,
                 occ = pool_used / cap
                 occ_counts[occ] = occ_counts.get(occ, 0) + 1
                 occ_last = occ
+            if recording:
+                # emitted after the admit loop so the trailing pool
+                # level reflects this step's admissions and single-token
+                # releases (consumers sort by ts; admits share t0)
+                ev(("prefill", step_start, clock, len(chunk), tokens,
+                    size, pool_used))
+                if with_pool and wm_above != (pool_used > wm_lvl):
+                    wm_above = not wm_above
+                    ev(("watermark", clock, 1 if wm_above else 0,
+                        pool_used))
         else:
             # ---- decode: macro-step to the next batch-composition event
             B = len(col_rid)
             d0 = n_decode
+            if recording:
+                t_macro = clock
             k = min(col_fin) - d0           # steps to the next finish
             ctx = sum_resb + B * d0         # resident KV priced at step 1
             arr_stop = free_slots > 0       # an arrival could prefill next
@@ -444,6 +511,13 @@ def serve_events(requests: Sequence[Request], model: ModelConfig,
                         free_now -= g
                         used += g
                         grow_phases.append(ph)
+                        # upward watermark crossings happen only on
+                        # growth, so this is the one recording check
+                        # the tight loop carries (and only on the
+                        # already-rare growth branch)
+                        if recording and not wm_above and used > wm_lvl:
+                            wm_above = True
+                            ev(("watermark", clock, 1, used))
                     if ctx > seg_end:
                         co = coeffs_of(B, ctx)
                         form = co[0]
@@ -545,15 +619,30 @@ def serve_events(requests: Sequence[Request], model: ModelConfig,
                             if with_pool:
                                 pool_used -= held.pop(rid)
                             drop_entry(i)
+                            if recording:
+                                ev(("finish", clock, rid))
                     if with_pool:
                         occ = pool_used / cap
                         occ_counts[occ] = occ_counts.get(occ, 0) + 1
                         occ_last = occ
+                if recording:
+                    # after the finishing releases: the macro-step's
+                    # closing pool level (file order trails the finish
+                    # events; consumers sort by ts)
+                    ev(("decode", t_macro, clock, executed, B, pool_used))
+                    if with_pool and wm_above != (pool_used > wm_lvl):
+                        wm_above = not wm_above
+                        ev(("watermark", clock, 1 if wm_above else 0,
+                            pool_used))
             else:
                 # pressure before the first step: one reference-shaped
                 # step with the preemption loop, then re-plan
                 slow_decode_step()
 
+    if recording:
+        recorder.meta["t0"] = order[0].arrival_s
+        recorder.meta["t1"] = clock
+        recorder.meta["makespan_s"] = clock - order[0].arrival_s
     result.makespan_s = clock - order[0].arrival_s
     result.n_prefill_steps = n_prefill
     result.n_decode_steps = n_decode

@@ -74,6 +74,15 @@ class StepStats:
 
     # -- querying -----------------------------------------------------------
 
+    def counts(self) -> dict:
+        """A copy of the ``value -> occurrences`` multiset.
+
+        Public adoption point for consumers that fold a finished series
+        into their own accumulator (e.g. ``repro.obs`` histograms merge
+        a :class:`~repro.serve.scheduler.ServeResult`'s per-step series
+        without replaying millions of samples)."""
+        return dict(self._counts)
+
     @property
     def distinct(self) -> int:
         """Number of distinct values held — the memory footprint."""
@@ -94,7 +103,10 @@ class StepStats:
         """q-th percentile (0..100), bit-identical to
         :func:`repro.serve.metrics.percentile` on the same samples."""
         if not self._n:
-            raise ServeError("percentile of an empty sequence")
+            # a *named* ServeError, never a bare IndexError/KeyError from
+            # the rank walk below: obs histograms snapshot empty series
+            # routinely and must be able to catch this precisely
+            raise ServeError("percentile of an empty sample series")
         if not 0.0 <= q <= 100.0:
             raise ServeError(f"percentile q must be in [0, 100], got {q}")
         values = sorted(self._counts)

@@ -162,7 +162,8 @@ class _Running:
 def serve(requests: Sequence[Request], model: ModelConfig, method: str,
           table: StepLatencyTable, server: ServerConfig | None = None,
           world: int = 8, spec: HardwareSpec = H800,
-          seed: int = 0, kv: KVCacheConfig | None = None) -> ServeResult:
+          seed: int = 0, kv: KVCacheConfig | None = None,
+          recorder=None) -> ServeResult:
     """Run the continuous-batching loop over ``requests``.
 
     ``method`` selects whose kernels price each step — the base methods
@@ -179,11 +180,17 @@ def serve(requests: Sequence[Request], model: ModelConfig, method: str,
     :func:`repro.serve.engine.serve_events`, which macro-steps decode
     between batch-composition events; its results are bit-identical to
     :func:`serve_reference` (the preserved seed loop) on every field.
+
+    ``recorder`` (an enabled :class:`repro.obs.Recorder`; default
+    ``None`` = off) captures the request-lifecycle event log for the
+    observability layer without perturbing the run — see
+    :func:`serve_events` for the contract.
     """
     from repro.serve.engine import serve_events
 
     return serve_events(requests, model, method, table, server=server,
-                        world=world, spec=spec, seed=seed, kv=kv)
+                        world=world, spec=spec, seed=seed, kv=kv,
+                        recorder=recorder)
 
 
 def serve_reference(requests: Sequence[Request], model: ModelConfig,

@@ -46,6 +46,7 @@ import shutil
 import tempfile
 from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
+from time import perf_counter
 from typing import Callable
 
 from repro.config import H800, HardwareSpec
@@ -88,12 +89,24 @@ def parallel_sweep(named: list[tuple[str, TuneTask]], *, world: int = 8,
                    halving_eta: int = 2,
                    model_probes: int = DEFAULT_PROBES,
                    model_optimism: float = DEFAULT_OPTIMISM, workers: int = 2,
-                   progress: Callable[[str], None] | None = None):
+                   progress: Callable[[str], None] | None = None,
+                   recorder=None):
     """Run one sweep's task list with cold key groups fanned out over a
     process pool.  Called by :func:`repro.tuner.sweep.sweep` with the
     already-normalized ``(name, task)`` list; not meant to be invoked
-    directly."""
+    directly.
+
+    ``recorder`` spans cover only parent-side work: warm-leader cache
+    probes, the serial fallback, and one ``fanout`` span bracketing the
+    whole worker pool.  Per-candidate spans recorded *inside* forked
+    children die with the child process (a fork-pool worker returns only
+    its pickled :class:`TuneResult`), so a parallel sweep's span total
+    under-counts by design — the fanout span is the honest envelope.
+    """
     from repro.tuner.sweep import SweepEntry, SweepReport
+
+    rec = (recorder if recorder is not None
+           and getattr(recorder, "enabled", False) else None)
 
     tune_kwargs = dict(world=world, spec=spec, strategy=strategy,
                        max_trials=max_trials, seed=seed, slack=slack,
@@ -124,14 +137,16 @@ def parallel_sweep(named: list[tuple[str, TuneTask]], *, world: int = 8,
     cold: list[tuple[str, TuneTask, str]] = []
     for name, task, key in leaders:
         if cache is not None and key in cache:
-            results[key] = tune(task, cache=cache, **tune_kwargs)
+            results[key] = tune(task, cache=cache, recorder=recorder,
+                                **tune_kwargs)
         else:
             cold.append((name, task, key))
 
     # -- cold leaders: fan out (or fall back to the serial loop) ----------
     if cold and (not fork_available() or workers <= 1 or len(cold) == 1):
         for name, task, key in cold:
-            results[key] = tune(task, cache=cache, **tune_kwargs)
+            results[key] = tune(task, cache=cache, recorder=recorder,
+                                **tune_kwargs)
     elif cold:
         cache_dir = (tempfile.mkdtemp(prefix="repro-sweep-workers-")
                      if cache is not None else None)
@@ -146,9 +161,13 @@ def parallel_sweep(named: list[tuple[str, TuneTask]], *, world: int = 8,
                     Path(cache_dir) / f"group{index}.json")
             return tune(cold_tasks[index], cache=group_cache, **tune_kwargs)
 
+        t_fan = perf_counter() if rec is not None else 0.0
         try:
             group_results, group_failures = fork_run(
                 tune_group, len(cold), workers)
+            if rec is not None:
+                rec.span(t_fan, perf_counter(), "fanout",
+                         f"{len(cold)} groups x {workers} workers")
         finally:
             try:
                 _merge_worker_caches(cache, cache_dir)

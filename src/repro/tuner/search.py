@@ -38,6 +38,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Callable
 
 from repro.config import H800, HardwareSpec
@@ -171,11 +172,19 @@ def tune(task: TuneTask, *, world: int = 8, spec: HardwareSpec = H800,
          max_trials: int | None = None, seed: int = 0, slack: float = 0.0,
          halving_scale: float = 0.25, halving_eta: int = 2,
          model_probes: int = DEFAULT_PROBES,
-         model_optimism: float = DEFAULT_OPTIMISM) -> TuneResult:
+         model_optimism: float = DEFAULT_OPTIMISM,
+         recorder=None) -> TuneResult:
     """Autotune ``task`` and return the best configuration found.
 
     This is the subsystem's one-call API: prune with the cost model,
     search the survivors through the simulator, memoise the winner.
+
+    ``recorder`` (an enabled :class:`repro.obs.Recorder`, duck-typed —
+    this module never imports :mod:`repro.obs`) collects *wall-clock*
+    spans: one per candidate simulation (labelled by kernel/shape and
+    search stage), one per prune pass, one per cache probe/write — so a
+    sweep's wall time is attributable span by span.  ``None`` (the
+    default) records nothing and skips every timing call.
     """
     if strategy not in ("exhaustive", "random", "halving", "model"):
         raise TunerError(f"unknown search strategy {strategy!r}")
@@ -194,6 +203,21 @@ def tune(task: TuneTask, *, world: int = 8, spec: HardwareSpec = H800,
             raise TunerError(
                 f"model probe count must be >= 1, got {model_probes}")
 
+    rec = (recorder if recorder is not None
+           and getattr(recorder, "enabled", False) else None)
+    if rec is not None:
+        rec.meta.setdefault("kind", "spans")
+    shape = f"{task.kernel}:{task.shape_key}"
+
+    def sim(cand: Candidate, scale: float, stage: str) -> float:
+        """One candidate simulation, span-recorded when tracing."""
+        if rec is None:
+            return _simulate(task, cand, scale, world=world, spec=spec)
+        t0 = perf_counter()
+        t = _simulate(task, cand, scale, world=world, spec=spec)
+        rec.span(t0, perf_counter(), "simulate", f"{shape}:{stage}")
+        return t
+
     # The search signature is part of the key: a capped/random search must
     # not alias a later, stronger search on the same shape/spec/space.
     key = task_cache_key(task, world=world, spec=spec, strategy=strategy,
@@ -202,7 +226,11 @@ def tune(task: TuneTask, *, world: int = 8, spec: HardwareSpec = H800,
                          model_probes=model_probes,
                          model_optimism=model_optimism)
     if cache is not None:
+        t_probe = perf_counter() if rec is not None else 0.0
         hit = cache.get(key)
+        if rec is not None:
+            rec.span(t_probe, perf_counter(), "cache",
+                     f"{'hit' if hit is not None else 'miss'}:{shape}")
         if hit is not None:
             best = dict(hit["best"])
             default_time = hit.get("meta", {}).get("default_time")
@@ -224,14 +252,18 @@ def tune(task: TuneTask, *, world: int = 8, spec: HardwareSpec = H800,
         raise TunerError(f"search space for {task.kernel!r} is empty")
 
     # -- incumbent seed: the hand-picked default --------------------------
-    default_time = _simulate(task, task.default, 1.0, world=world, spec=spec)
+    default_time = sim(task.default, 1.0, "default")
     n_simulated = 1
     trials: list[tuple[Candidate, float]] = [(dict(task.default), default_time)]
     incumbent = default_time
 
     # -- static prune against the incumbent -------------------------------
     others = [c for c in candidates if c != task.default]
+    t_prune = perf_counter() if rec is not None else 0.0
     pruned: PruneResult = prune(others, task.bound, incumbent, slack=slack)
+    if rec is not None:
+        rec.span(t_prune, perf_counter(), "prune",
+                 f"{shape}:{pruned.n_pruned}/{len(others)}")
 
     # -- pick the trial list per strategy ----------------------------------
     survivors = list(pruned.survivors)
@@ -246,8 +278,7 @@ def tune(task: TuneTask, *, world: int = 8, spec: HardwareSpec = H800,
     elif strategy == "halving" and len(survivors) > 1:
         if max_trials is not None:
             survivors = survivors[:max_trials]   # cap the rung, bound order
-        scored = [(c, _simulate(task, c, halving_scale, world=world,
-                                spec=spec)) for c in survivors]
+        scored = [(c, sim(c, halving_scale, "rung")) for c in survivors]
         n_simulated += len(scored)
         scored.sort(key=lambda ct: ct[1])
         keep = max(1, math.ceil(len(scored) / halving_eta))
@@ -260,7 +291,7 @@ def tune(task: TuneTask, *, world: int = 8, spec: HardwareSpec = H800,
         incumbent, n_model_sim, n_dynamic, n_model_skipped = \
             model_guided_search(
                 survivors, bounds, trials, incumbent,
-                lambda c: _simulate(task, c, 1.0, world=world, spec=spec),
+                lambda c: sim(c, 1.0, "model"),
                 task.bound, slack=slack, probes=model_probes,
                 optimism=model_optimism)
         n_simulated += n_model_sim
@@ -271,7 +302,7 @@ def tune(task: TuneTask, *, world: int = 8, spec: HardwareSpec = H800,
         if task.bound(cand) > incumbent * (1.0 + slack):
             n_dynamic += 1
             continue
-        t = _simulate(task, cand, 1.0, world=world, spec=spec)
+        t = sim(cand, 1.0, "search")
         n_simulated += 1
         trials.append((dict(cand), t))
         incumbent = min(incumbent, t)
@@ -285,10 +316,13 @@ def tune(task: TuneTask, *, world: int = 8, spec: HardwareSpec = H800,
         n_model_skipped=n_model_skipped, trials=trials)
 
     if cache is not None:
+        t_put = perf_counter() if rec is not None else 0.0
         cache.put(key, best, best_time, meta={
             "default_time": default_time, "n_candidates": len(candidates),
             "n_pruned": pruned.n_pruned, "strategy": strategy,
             "n_simulated": n_simulated,
             "kernel": task.kernel, "shape": task.shape_key, "world": world,
         })
+        if rec is not None:
+            rec.span(t_put, perf_counter(), "cache", f"put:{shape}")
     return result

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable, Iterable, Sequence, Union
 
 from repro.config import H800, HardwareSpec
@@ -176,7 +177,8 @@ def sweep(tasks: Sequence[SweepInput], *, world: int = 8,
           model_probes: int = DEFAULT_PROBES,
           model_optimism: float = DEFAULT_OPTIMISM,
           workers: int | None = None,
-          progress: Callable[[str], None] | None = None) -> SweepReport:
+          progress: Callable[[str], None] | None = None,
+          recorder=None) -> SweepReport:
     """Tune a whole shape table through one shared cache.
 
     ``tasks`` is a sequence of :class:`TuneTask` (or ``(name, task)``
@@ -185,11 +187,20 @@ def sweep(tasks: Sequence[SweepInput], *, world: int = 8,
     ``workers=N`` (N > 1) fans the non-aliasing cold tasks out over a
     process pool (see :mod:`repro.tuner.parallel`) with identical report
     semantics; the default tunes serially.  ``progress`` (e.g. ``print``)
-    receives one line per shape as it resolves.
+    receives one line per shape as it resolves.  ``recorder`` (an
+    enabled :class:`repro.obs.Recorder`, duck-typed) collects wall-clock
+    spans — one ``tune`` span per shape plus the per-stage spans
+    :func:`tune` records inside it; under ``workers>1`` only the
+    parent-side spans survive (fork-pool children cannot report back).
     """
     named = _normalize(tasks)
     if not named:
         raise TunerError("sweep() needs at least one task")
+
+    rec = (recorder if recorder is not None
+           and getattr(recorder, "enabled", False) else None)
+    if rec is not None:
+        rec.meta.setdefault("kind", "spans")
 
     if workers is not None and workers > 1:
         from repro.tuner.parallel import parallel_sweep
@@ -199,7 +210,7 @@ def sweep(tasks: Sequence[SweepInput], *, world: int = 8,
             max_trials=max_trials, seed=seed, slack=slack,
             halving_scale=halving_scale, halving_eta=halving_eta,
             model_probes=model_probes, model_optimism=model_optimism,
-            workers=workers, progress=progress)
+            workers=workers, progress=progress, recorder=recorder)
 
     memo: dict[str, tuple[str, TuneResult]] = {}
     entries: list[SweepEntry] = []
@@ -215,6 +226,9 @@ def sweep(tasks: Sequence[SweepInput], *, world: int = 8,
             entries.append(SweepEntry(
                 name=name, kernel=task.kernel, shape_key=task.shape_key,
                 cache_key=key, result=shared, deduped_from=first_name))
+            if rec is not None:
+                t_now = perf_counter()
+                rec.span(t_now, t_now, "cache", f"dedup:{name}<-{first_name}")
             if progress is not None:
                 # dedup keys on the FULL cache key (shape, world, spec and
                 # search signature included), not just the space
@@ -222,11 +236,14 @@ def sweep(tasks: Sequence[SweepInput], *, world: int = 8,
                 progress(f"[sweep] {name}: deduplicated (same cache key "
                          f"as {first_name}: {key})")
             continue
+        t_tune = perf_counter() if rec is not None else 0.0
         result = tune(task, world=world, spec=spec, strategy=strategy,
                       cache=cache, max_trials=max_trials, seed=seed,
                       slack=slack, halving_scale=halving_scale,
                       halving_eta=halving_eta, model_probes=model_probes,
-                      model_optimism=model_optimism)
+                      model_optimism=model_optimism, recorder=recorder)
+        if rec is not None:
+            rec.span(t_tune, perf_counter(), "tune", name)
         memo[key] = (name, result)
         entries.append(SweepEntry(
             name=name, kernel=task.kernel, shape_key=task.shape_key,

@@ -47,6 +47,24 @@ def test_percentile_interpolates_linearly():
         percentile([1.0], 101)
 
 
+def test_empty_series_raise_named_serve_errors():
+    """Every empty-series accessor raises ServeError — never a bare
+    IndexError/KeyError from the internals.  The obs histograms
+    (repro.obs.metrics) snapshot empty series routinely and must be
+    able to catch these precisely."""
+    empty = StepStats()
+    with pytest.raises(ServeError, match="percentile of an empty"):
+        empty.percentile(50)
+    with pytest.raises(ServeError, match="max of an empty"):
+        empty.max
+    with pytest.raises(ServeError, match="empty"):
+        percentile([], 50)
+    # one sample makes every accessor whole again
+    one = StepStats.of([3.0])
+    assert one.percentile(50) == 3.0
+    assert one.max == 3.0
+
+
 def test_slo_spec_accounts_for_single_token_requests():
     slo = SloSpec(ttft_s=1.0, tpot_s=0.1)
     assert slo.met_by(0.5, 0.05)
